@@ -1,0 +1,10 @@
+package grip
+
+import (
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+func simRun(res *pipeline.Result, init *sim.State) (*sim.Result, error) {
+	return sim.Run(res.Unwound.G, init, 1_000_000)
+}

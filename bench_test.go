@@ -1,0 +1,307 @@
+// Benchmarks regenerating every table and figure of the paper, plus
+// ablations of the design choices called out in DESIGN.md. Each
+// benchmark reports the paper's metric (speedup, cycles per iteration,
+// convergence) through b.ReportMetric, so `go test -bench=.` reproduces
+// the evaluation numbers alongside the scheduler's own cost.
+package grip
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/harness"
+	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/pipeline"
+	"repro/internal/post"
+	"repro/internal/ps"
+	"repro/internal/unifiable"
+)
+
+// BenchmarkTable1 regenerates every cell of Table 1: loops LL1–LL14 at
+// 2, 4 and 8 functional units, GRiP and POST. The "speedup" metric is
+// the cell value; ns/op is the cost of producing it (unwinding,
+// scheduling, pattern detection).
+func BenchmarkTable1(b *testing.B) {
+	for _, k := range livermore.All() {
+		for _, fus := range []int{2, 4, 8} {
+			cfg := pipeline.DefaultConfig(machine.New(fus))
+			b.Run(fmt.Sprintf("%s/%dFU/GRiP", k.Name, fus), func(b *testing.B) {
+				var last *pipeline.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					last, err = pipeline.PerfectPipeline(k.Spec, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(last.Speedup, "speedup")
+				b.ReportMetric(boolMetric(last.Converged), "converged")
+			})
+			b.Run(fmt.Sprintf("%s/%dFU/POST", k.Name, fus), func(b *testing.B) {
+				var last *pipeline.Result
+				for i := 0; i < b.N; i++ {
+					var err error
+					last, err = post.Pipeline(k.Spec, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(last.Speedup, "speedup")
+			})
+		}
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkFigure6 regenerates the simple-vs-perfect pipelining
+// comparison on the paper's running example loop.
+func BenchmarkFigure6(b *testing.B) {
+	spec := harness.PaperExampleLoop()
+	cfg := pipeline.DefaultConfig(machine.New(3))
+	cfg.Optimize = false
+	b.Run("simple", func(b *testing.B) {
+		var last *pipeline.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			last, err = pipeline.SimplePipeline(spec, cfg, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(last.Speedup, "speedup")
+	})
+	b.Run("perfect", func(b *testing.B) {
+		var last *pipeline.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			last, err = pipeline.PerfectPipeline(spec, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(last.Speedup, "speedup")
+	})
+}
+
+// BenchmarkFigure9_13 regenerates the gap experiment: without gap
+// prevention the schedule diverges (converged=0), with it the pipeline
+// reaches the Figure 13 kernel (converged=1).
+func BenchmarkFigure9_13(b *testing.B) {
+	spec := harness.PaperExampleLoop()
+	for _, gap := range []bool{false, true} {
+		name := "Fig9-noPrevention"
+		if gap {
+			name = "Fig13-gapless"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(machine.Infinite())
+			cfg.Optimize = false
+			cfg.GapPrevention = gap
+			cfg.Unwind = 16
+			var last *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = pipeline.PerfectPipeline(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(boolMetric(last.Converged), "converged")
+			b.ReportMetric(last.CyclesPerIter, "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkFigure8_11 regenerates the candidate-set traces of Figures 8
+// and 11 (Unifiable-ops vs Moveable-ops on the same program).
+func BenchmarkFigure8_11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := harness.Figure8And11(io.Discard, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntroExample regenerates the section 1 motivating example:
+// GRiP's fractional rate versus modulo scheduling's integral II on the
+// 5-operation loop at 4 units.
+func BenchmarkIntroExample(b *testing.B) {
+	spec := harness.IntroExampleLoop()
+	m := machine.New(4)
+	var g, mo float64
+	for i := 0; i < b.N; i++ {
+		res, err := pipeline.PerfectPipeline(spec, pipeline.DefaultConfig(m))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mres, err := modulo.Schedule(spec, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, mo = res.Speedup, mres.Speedup
+	}
+	b.ReportMetric(g, "grip-speedup")
+	b.ReportMetric(mo, "modulo-speedup")
+}
+
+// BenchmarkSchedulerCost benchmarks the paper's efficiency claim
+// (section 3.1/3.2): Moveable-ops sets are trivially maintainable while
+// Unifiable-ops sets must be recomputed against the dominated region, so
+// GRiP schedules the same program markedly faster.
+func BenchmarkSchedulerCost(b *testing.B) {
+	spec := livermore.ByName("LL1").Spec
+	const unwind = 16
+	m := machine.New(4)
+	b.Run("GRiP-moveable", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			uw, err := pipeline.Unwind(spec, unwind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := uw.BuildGraph()
+			ddg := deps.Build(uw.Ops)
+			ctx := ps.NewCtx(g, m, uw.ExitLive)
+			if _, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{GapPrevention: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Unifiable-ops", func(b *testing.B) {
+		var work int
+		for i := 0; i < b.N; i++ {
+			uw, err := pipeline.Unwind(spec, unwind)
+			if err != nil {
+				b.Fatal(err)
+			}
+			g := uw.BuildGraph()
+			ddg := deps.Build(uw.Ops)
+			ctx := ps.NewCtx(g, m, uw.ExitLive)
+			st, err := unifiable.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), unifiable.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			work = st.SetWork
+		}
+		b.ReportMetric(float64(work), "set-probes")
+	})
+}
+
+// BenchmarkAblationGapPrevention measures what the Gapless-move
+// machinery costs and buys on a real kernel.
+func BenchmarkAblationGapPrevention(b *testing.B) {
+	spec := livermore.ByName("LL1").Spec
+	for _, gap := range []bool{true, false} {
+		b.Run(fmt.Sprintf("gapless=%v", gap), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(machine.New(4))
+			cfg.GapPrevention = gap
+			cfg.Unwind = 24
+			var last *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = pipeline.PerfectPipeline(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(boolMetric(last.Converged), "converged")
+			b.ReportMetric(last.CyclesPerIter, "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkAblationRedundancyRemoval quantifies section 4's redundant
+// operation removal on the memory-recurrence kernel LL5.
+func BenchmarkAblationRedundancyRemoval(b *testing.B) {
+	spec := livermore.ByName("LL5").Spec
+	for _, opt := range []bool{true, false} {
+		b.Run(fmt.Sprintf("optimize=%v", opt), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(machine.New(8))
+			cfg.Optimize = opt
+			var last *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = pipeline.PerfectPipeline(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationEmptyPrelude evaluates the paper's "empty
+// instructions at the beginning" mitigation for temporary resource
+// barriers (section 3.2), reporting barrier counts with and without it.
+func BenchmarkAblationEmptyPrelude(b *testing.B) {
+	spec := livermore.ByName("LL8").Spec
+	for _, prelude := range []int{0, 8} {
+		b.Run(fmt.Sprintf("prelude=%d", prelude), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(machine.New(4))
+			cfg.EmptyPrelude = prelude
+			cfg.Unwind = 24
+			var last *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = pipeline.PerfectPipeline(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(last.Stats.ResourceBarriers), "barriers")
+			b.ReportMetric(last.Speedup, "speedup")
+		})
+	}
+}
+
+// BenchmarkAblationBranchSlots shows the one-iteration-per-cycle
+// throughput ceiling imposed by a single branch slot (section 1) by
+// widening it on a tiny loop where the ceiling binds.
+func BenchmarkAblationBranchSlots(b *testing.B) {
+	spec := livermore.ByName("LL12").Spec
+	for _, slots := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("branch=%d", slots), func(b *testing.B) {
+			cfg := pipeline.DefaultConfig(machine.New(8).WithBranchSlots(slots))
+			var last *pipeline.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				last, err = pipeline.PerfectPipeline(spec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(last.Speedup, "speedup")
+			b.ReportMetric(last.CyclesPerIter, "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkSimulator measures raw simulation throughput (cycles of VLIW
+// execution per second) on a scheduled pipeline.
+func BenchmarkSimulator(b *testing.B) {
+	k := livermore.ByName("LL1")
+	res, err := pipeline.PerfectPipeline(k.Spec, pipeline.DefaultConfig(machine.New(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	vars := map[string]int64{"q": 5, "r": 3, "t": 2, "n": int64(res.U)}
+	arrays := k.Arrays(res.U + 16)
+	init := res.Unwound.InitState(vars, arrays)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := simRun(res, init); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

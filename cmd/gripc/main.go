@@ -1,0 +1,86 @@
+// Command gripc schedules a loop described in the textir format and
+// reports the pipelined kernel, its rate, and the speedup, optionally
+// printing the full schedule.
+//
+// Usage:
+//
+//	go run ./cmd/gripc -fus 4 [-scheduler grip|post|modulo|list] [-print] < loop.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/pipeline"
+	"repro/internal/post"
+	"repro/internal/textir"
+)
+
+func main() {
+	fus := flag.Int("fus", 4, "functional units")
+	sched := flag.String("scheduler", "grip", "grip | post | modulo | list")
+	printRows := flag.Bool("print", false, "print the scheduled rows")
+	noOpt := flag.Bool("no-opt", false, "disable redundant-operation removal")
+	flag.Parse()
+
+	spec, err := textir.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := machine.New(*fus)
+	fmt.Printf("loop %s: %d ops/iteration sequential, %s\n",
+		spec.Name, spec.SeqOpsPerIter(), m)
+
+	switch *sched {
+	case "modulo":
+		res, err := modulo.Schedule(spec, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("modulo: II=%d makespan=%d speedup=%.2f\n", res.II, res.Makespan, res.Speedup)
+		return
+	case "list":
+		res := listsched.Schedule(spec, m)
+		fmt.Printf("list: %d cycles/iteration, speedup=%.2f\n", res.Cycles, res.Speedup)
+		return
+	}
+
+	cfg := pipeline.DefaultConfig(m)
+	cfg.Optimize = !*noOpt
+	var res *pipeline.Result
+	switch *sched {
+	case "grip":
+		res, err = pipeline.PerfectPipeline(spec, cfg)
+	case "post":
+		res, err = post.Pipeline(spec, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: converged=%v kernel=%v\n", *sched, res.Converged, res.Kernel)
+	fmt.Printf("rate: %.3f cycles/iteration, speedup %.2f (unwound %d iterations, %d removed ops)\n",
+		res.CyclesPerIter, res.Speedup, res.U, res.Unwound.Removed())
+	if *printRows {
+		name := func(origin int) string {
+			if origin == len(spec.Body) {
+				return "+"
+			}
+			if origin == len(spec.Body)+1 {
+				return "cj"
+			}
+			return fmt.Sprintf("o%d.", origin)
+		}
+		fmt.Print(harness.FigureRows(res.Unwound.G, name, 0))
+	}
+}

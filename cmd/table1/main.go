@@ -1,0 +1,74 @@
+// Command table1 regenerates Table 1 of the paper: observed speedups of
+// GRiP and POST on Livermore Loops 1–14 at 2, 4 and 8 functional units,
+// with arithmetic-mean and weighted-harmonic-mean summary rows.
+//
+// Usage:
+//
+//	go run ./cmd/table1 [-fus 2,4,8] [-loops LL1,LL3] [-csv] [-validate]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/livermore"
+)
+
+func main() {
+	fusFlag := flag.String("fus", "2,4,8", "comma-separated functional unit counts")
+	loopsFlag := flag.String("loops", "", "comma-separated kernel names (default: all)")
+	csv := flag.Bool("csv", false, "emit CSV instead of the paper layout")
+	validate := flag.Bool("validate", false, "also prove scheduled code semantically equivalent")
+	flag.Parse()
+
+	var fus []int
+	for _, s := range strings.Split(*fusFlag, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || f < 1 {
+			fmt.Fprintf(os.Stderr, "bad FU count %q\n", s)
+			os.Exit(2)
+		}
+		fus = append(fus, f)
+	}
+
+	kernels := livermore.All()
+	if *loopsFlag != "" {
+		kernels = nil
+		for _, name := range strings.Split(*loopsFlag, ",") {
+			k := livermore.ByName(strings.TrimSpace(name))
+			if k == nil {
+				fmt.Fprintf(os.Stderr, "unknown kernel %q\n", name)
+				os.Exit(2)
+			}
+			kernels = append(kernels, k)
+		}
+	}
+
+	tbl, err := harness.RunTable1(kernels, fus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		fmt.Println("Table 1: Observed Speed-up (GRiP vs POST)")
+		fmt.Print(tbl.Format())
+	}
+
+	if *validate {
+		for _, k := range kernels {
+			for _, f := range fus {
+				if err := harness.ValidateCell(k, f); err != nil {
+					fmt.Fprintf(os.Stderr, "VALIDATION FAILED %s @%dFU: %v\n", k.Name, f, err)
+					os.Exit(1)
+				}
+				fmt.Printf("validated %s @%dFU: scheduled code ≡ original loop\n", k.Name, f)
+			}
+		}
+	}
+}

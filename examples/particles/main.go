@@ -1,0 +1,64 @@
+// Particles: scheduling under unanalyzable memory. The particle-in-cell
+// kernels (LL13/LL14) index their grids through values loaded at run
+// time; conservative dependence analysis must serialize those accesses,
+// so no scheduler — however wide the machine — can exceed the recurrence
+// rate. GRiP still fills whatever parallelism remains, and the simulator
+// proves the aggressive schedule preserves the scatter/gather semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	grip "repro"
+)
+
+func pic() *grip.Loop {
+	// i = ix[k]; p[i]++ ; y[k] = e[k]*p[i]
+	return &grip.Loop{
+		Name: "pic",
+		Body: []grip.BodyOp{
+			grip.Load("i1", grip.Aff("IX", 1, 0)),
+			grip.Load("p1", grip.Ind("P", "i1", 0)),
+			grip.AddI("p2", "p1", 1),
+			grip.Store(grip.Ind("P", "i1", 0), "p2"),
+			grip.Load("e", grip.Aff("E", 1, 0)),
+			grip.Mul("yv", "e", "p2"),
+			grip.Store(grip.Aff("Y", 1, 0), "yv"),
+		},
+		Step: 1, TripVar: "n",
+	}
+}
+
+func main() {
+	for _, fus := range []int{2, 8, 32} {
+		res, err := grip.PerfectPipeline(pic(), grip.Machine(fus))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2d FUs: %.2f cycles/iter, speedup %.2f (converged=%v)\n",
+			fus, res.CyclesPerIter, res.Speedup, res.Converged)
+	}
+
+	// Particles that collide in the same cell make the indirect chain
+	// real: validate the schedule on a colliding workload.
+	res, err := grip.PerfectPipeline(pic(), grip.Machine(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := res.U + 2
+	ix := make([]int64, n)
+	e := make([]int64, n)
+	for k := range ix {
+		ix[k] = int64(k % 3) // heavy collisions
+		e[k] = int64(k + 1)
+	}
+	err = grip.Validate(res, nil, map[string][]int64{
+		"IX": ix, "P": {10, 20, 30}, "E": e, "Y": make([]int64, n),
+	}, []int64{2, int64(res.U / 2), int64(res.U)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("validated: indirect scatter/gather survives aggressive scheduling")
+	fmt.Println("(the speedup plateau is the serialized grid update, as in the paper's LL13)")
+}

@@ -1,0 +1,121 @@
+// Package grip is the public facade of the GRiP reproduction: Global
+// Resource-constrained Percolation scheduling with Perfect Pipelining
+// (Nicolau & Novack, ICPP 1992), plus the baselines the paper compares
+// against (POST, Unifiable-ops, modulo scheduling, list scheduling).
+//
+// Quick start:
+//
+//	loop := &grip.Loop{
+//	    Name: "dot",
+//	    Body: []grip.BodyOp{
+//	        grip.Load("t1", grip.Aff("Z", 1, 0)),
+//	        grip.Load("t2", grip.Aff("X", 1, 0)),
+//	        grip.Mul("t3", "t1", "t2"),
+//	        grip.Add("q", "q", "t3"),
+//	    },
+//	    Step: 1, TripVar: "n",
+//	    LiveIn: []string{"q"}, LiveOut: []string{"q"},
+//	}
+//	res, err := grip.PerfectPipeline(loop, grip.Machine(4))
+//	fmt.Println(res.Speedup, res.Kernel)
+package grip
+
+import (
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/pipeline"
+	"repro/internal/post"
+)
+
+// Loop describes an innermost counted loop; see ir.LoopSpec.
+type Loop = ir.LoopSpec
+
+// BodyOp is one loop-body operation over named variables.
+type BodyOp = ir.BodyOp
+
+// MemRef addresses an array element affinely in the loop counter or
+// indirectly through a variable.
+type MemRef = ir.BodyRef
+
+// Result reports a pipelining run: convergence, the steady-state kernel,
+// cycles per iteration, and the speedup over sequential issue.
+type Result = pipeline.Result
+
+// Kernel is the repeating pattern Perfect Pipelining turns into the new
+// loop body.
+type Kernel = pipeline.Kernel
+
+// Config tunes a run; DefaultConfig(Machine(n)) reproduces the paper's
+// setup.
+type Config = pipeline.Config
+
+// MachineModel is the VLIW resource model.
+type MachineModel = machine.Machine
+
+// Body-op constructors, re-exported for building loops.
+var (
+	Add   = ir.BAdd
+	Sub   = ir.BSub
+	Mul   = ir.BMul
+	Div   = ir.BDiv
+	AddI  = ir.BAddI
+	MulI  = ir.BMulI
+	Copy  = ir.BCopy
+	Load  = ir.BLoad
+	Store = ir.BStore
+	Aff   = ir.Aff
+	Ind   = ir.Ind
+)
+
+// Machine returns a VLIW with n universal functional units and one
+// branch slot per instruction — the paper's machine model.
+func Machine(n int) MachineModel { return machine.New(n) }
+
+// InfiniteMachine returns the unconstrained configuration.
+func InfiniteMachine() MachineModel { return machine.Infinite() }
+
+// DefaultConfig is the paper-faithful configuration for machine m.
+func DefaultConfig(m MachineModel) Config { return pipeline.DefaultConfig(m) }
+
+// PerfectPipeline pipelines the loop with GRiP on a machine with the
+// given model, unwinding until the steady-state pattern converges.
+func PerfectPipeline(loop *Loop, m MachineModel) (*Result, error) {
+	return pipeline.PerfectPipeline(loop, pipeline.DefaultConfig(m))
+}
+
+// PerfectPipelineConfig is PerfectPipeline with full control.
+func PerfectPipelineConfig(loop *Loop, cfg Config) (*Result, error) {
+	return pipeline.PerfectPipeline(loop, cfg)
+}
+
+// SimplePipeline unwinds the loop n times and compacts the block without
+// re-forming a steady state (the paper's Figure 6 comparison).
+func SimplePipeline(loop *Loop, m MachineModel, n int) (*Result, error) {
+	return pipeline.SimplePipeline(loop, pipeline.DefaultConfig(m), n)
+}
+
+// Post pipelines with the POST baseline: infinite-resource GRiP followed
+// by a resource-constraining post-pass.
+func Post(loop *Loop, m MachineModel) (*Result, error) {
+	return post.Pipeline(loop, pipeline.DefaultConfig(m))
+}
+
+// Modulo runs the iterative modulo-scheduling baseline and returns its
+// initiation interval and speedup.
+func Modulo(loop *Loop, m MachineModel) (*modulo.Result, error) {
+	return modulo.Schedule(loop, m)
+}
+
+// ListSchedule compacts a single iteration with no pipelining.
+func ListSchedule(loop *Loop, m MachineModel) *listsched.Result {
+	return listsched.Schedule(loop, m)
+}
+
+// Validate proves a pipelined result semantically equivalent to the
+// original loop on the given inputs, including early-exit trip counts
+// that execute the drain code.
+func Validate(res *Result, vars map[string]int64, arrays map[string][]int64, trips []int64) error {
+	return pipeline.ValidateSemantics(res, vars, arrays, trips)
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's primary contribution: GRiP —
+// Global Resource-constrained Percolation scheduling (sections 3.2–3.3).
+//
+// GRiP schedules each node of the program graph in a top-down traversal,
+// filling its resources by migrating the highest-priority operations from
+// the subgraph it dominates (the Moveable-ops set). Unlike the
+// Unifiable-ops technique it approximates, GRiP lets operations move
+// partway and stay in intermediate nodes — compaction of the whole
+// dominated subgraph happens implicitly — at the cost of possible
+// resource barriers, which the scheduler counts so the paper's "barriers
+// are rare in practice" claim can be checked empirically.
+//
+// When used for Perfect Pipelining, the Gapless-move test (section 3.3)
+// plus the three scheduling rules guarantee that no permanent
+// inter-iteration gaps form, which makes the pipeline converge.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/ps"
+)
+
+// Options control a GRiP scheduling session.
+type Options struct {
+	// GapPrevention enables the section 3.3 Gapless-move test and
+	// suspension rules. Required for Perfect Pipelining convergence;
+	// harmless (slightly restrictive) elsewhere.
+	GapPrevention bool
+
+	// EmptyPrelude inserts this many empty instructions before the
+	// program entry, the paper's mitigation that makes temporary
+	// resource barriers impossible (section 3.2). Zero disables it, as
+	// the paper recommends in practice.
+	EmptyPrelude int
+
+	// Renaming allows the renaming variant of move-op when a plain move
+	// is blocked by an output or move-past-read conflict. The SSA-named
+	// unwound loops never need it; general programs may.
+	Renaming bool
+
+	// MaxSteps bounds total transformation steps as a safety valve.
+	MaxSteps int
+
+	// TraceNode, when set, receives each node as its scheduling starts
+	// together with the current Moveable-ops set in ranked order (used
+	// to print Figure 11-style traces).
+	TraceNode func(n *graph.Node, moveable []*ir.Op)
+}
+
+// DefaultMaxSteps bounds transformation work for typical loop sizes.
+const DefaultMaxSteps = 20_000_000
+
+// Stats reports what happened during scheduling.
+type Stats struct {
+	NodesScheduled   int
+	Moves            int // successful upward steps (all kinds)
+	ArrivedAtTarget  int // migrations that reached the scheduled node
+	PartialMoves     int // migrations that stopped early but made progress
+	ResourceBarriers int // moves blocked by a full intermediate node
+	BarrierOps       int // distinct ops that ever hit a resource barrier
+	Suspensions      int // gap-prevention suspensions (rule 1)
+	Unsuspensions    int // rule 2 wake-ups
+	GaplessRejects   int // moves rejected by the Gapless-move test
+	Renames          int
+}
+
+type scheduler struct {
+	ctx  *ps.Ctx
+	pri  *deps.Priority
+	opts Options
+
+	ranked     []*ir.Op // all schedulable ops, highest priority first
+	byIter     map[int][]*ir.Op
+	unmoveable map[*ir.Op]bool
+	suspended  map[*ir.Op]bool
+	stats      Stats
+	steps      int
+	barrierSet map[*ir.Op]bool
+
+	// gen is the retry generation: it advances on events that can
+	// unblock previously tried operations (an arrival at the scheduled
+	// node, a rule-2 unsuspension, a move out of a full node, any
+	// branch move). chooseOp skips operations already tried in the
+	// current generation, which keeps the Figure 10 while-loop from
+	// re-probing the whole Moveable set after every unrelated move.
+	gen int
+}
+
+// Schedule runs GRiP over ctx.G. ops must contain every schedulable
+// operation (branches included); pri ranks them per section 3.4.
+func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stats, error) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	s := &scheduler{
+		ctx:        ctx,
+		pri:        pri,
+		opts:       opts,
+		unmoveable: make(map[*ir.Op]bool),
+		suspended:  make(map[*ir.Op]bool),
+		barrierSet: make(map[*ir.Op]bool),
+	}
+	s.ranked = make([]*ir.Op, 0, len(ops))
+	s.byIter = make(map[int][]*ir.Op)
+	for _, op := range ops {
+		if !op.Frozen {
+			s.ranked = append(s.ranked, op)
+			s.byIter[op.Iter] = append(s.byIter[op.Iter], op)
+		}
+	}
+	pri.Rank(s.ranked)
+
+	for i := 0; i < opts.EmptyPrelude; i++ {
+		ctx.G.InsertBefore(ctx.G.Entry)
+	}
+
+	g := ctx.G
+	for n := g.Entry; n != nil; {
+		if n.Drain {
+			break // drains hang off the main chain and are never scheduled
+		}
+		if err := s.scheduleNode(n); err != nil {
+			return s.stats, err
+		}
+		s.stats.NodesScheduled++
+		// Suspensions are positional; restart them for the next node.
+		s.clearSuspensions()
+		n = nextMain(n)
+	}
+
+	// Remove any empty rows left on the main chain (unfilled prelude
+	// slots, drained tails). An empty instruction is a wasted cycle.
+	for _, n := range g.MainChain() {
+		if g.Has(n) && !n.Drain {
+			g.SpliceOutEmpty(n)
+		}
+	}
+
+	s.stats.Moves = ctx.Moves + ctx.Hoists + ctx.CJMoves
+	s.stats.Renames = ctx.Renames
+	s.stats.BarrierOps = len(s.barrierSet)
+	return s.stats, nil
+}
+
+func nextMain(n *graph.Node) *graph.Node {
+	var next *graph.Node
+	for _, s := range n.Successors() {
+		if s.Drain {
+			continue
+		}
+		if next != nil && next != s {
+			return nil
+		}
+		next = s
+	}
+	return next
+}
+
+// scheduleNode is the procedure of Figure 10 (and Figure 12 when gap
+// prevention is on): repeatedly choose the best moveable op and migrate
+// it toward n until resources run out or nothing can move.
+func (s *scheduler) scheduleNode(n *graph.Node) error {
+	tried := map[*ir.Op]int{}
+	if s.opts.TraceNode != nil {
+		s.opts.TraceNode(n, s.MoveableSet(n))
+	}
+	for {
+		if s.steps > s.opts.MaxSteps {
+			return fmt.Errorf("core: exceeded %d steps (non-termination guard)", s.opts.MaxSteps)
+		}
+		opRoom := s.ctx.M.FitsOps(n.OpCount() + 1)
+		brRoom := s.ctx.M.FitsBranches(n.BranchCount() + 1)
+		if !opRoom && !brRoom {
+			return nil
+		}
+		op := s.chooseOp(n, tried, opRoom, brRoom)
+		if op == nil {
+			return nil
+		}
+		tried[op] = s.gen
+		s.migrate(n, op)
+	}
+}
+
+// chooseOp returns the highest-priority op still eligible to move toward
+// n: below n, not frozen, not unmoveable, not suspended, below the
+// lowest suspended op (rule 3), and not already tried since the graph
+// last changed.
+func (s *scheduler) chooseOp(n *graph.Node, tried map[*ir.Op]int, opRoom, brRoom bool) *ir.Op {
+	g := s.ctx.G
+	limit := n.Pos()
+	lowestSusp, haveSusp := s.lowestSuspendedPos()
+	for _, op := range s.ranked {
+		if op.Frozen || s.unmoveable[op] {
+			continue
+		}
+		if op.IsBranch() && !brRoom {
+			continue
+		}
+		if !op.IsBranch() && !opRoom {
+			continue
+		}
+		if v, ok := tried[op]; ok && v == s.gen {
+			continue
+		}
+		home := g.NodeOf(op)
+		if home == nil || home.Drain {
+			continue
+		}
+		pos := home.Pos()
+		if pos <= limit {
+			continue // already at or above the node being scheduled
+		}
+		if s.suspended[op] {
+			continue
+		}
+		if haveSusp && pos <= lowestSusp {
+			continue // rule 3: only ops below the lowest suspended op move
+		}
+		return op
+	}
+	return nil
+}
+
+func (s *scheduler) lowestSuspendedPos() (float64, bool) {
+	if len(s.suspended) == 0 {
+		return 0, false
+	}
+	g := s.ctx.G
+	low := 0.0
+	have := false
+	for op := range s.suspended {
+		if home := g.NodeOf(op); home != nil {
+			if p := home.Pos(); !have || p > low {
+				low = p
+				have = true
+			}
+		}
+	}
+	return low, have
+}
+
+func (s *scheduler) clearSuspensions() {
+	for op := range s.suspended {
+		delete(s.suspended, op)
+	}
+	s.gen++
+}
+
+// migrate implements Figure 12's migrate: move op upward one edge at a
+// time until it reaches n or is blocked. Node-leaving moves are guarded
+// by the Gapless-move test when gap prevention is on; a rejected move
+// suspends the op (rule 1). After any successful move while suspensions
+// exist, migration stops early so the scheduler re-ranks with the
+// unsuspended operations (rule 2).
+func (s *scheduler) migrate(n *graph.Node, op *ir.Op) {
+	g := s.ctx.G
+	progressed := false
+	for g.NodeOf(op) != n {
+		s.steps++
+		if s.steps > s.opts.MaxSteps {
+			return
+		}
+		v := g.Where(op)
+		cur := v.Node()
+
+		wasFull := !s.ctx.M.FitsOps(cur.OpCount() + 1)
+
+		var blk ps.Block
+		hoisting := !op.IsBranch() && v != cur.Root
+		if !hoisting && s.opts.GapPrevention && op.Iter != ir.NoIter {
+			if !s.gaplessMove(cur, op) {
+				s.stats.GaplessRejects++
+				s.suspended[op] = true
+				s.stats.Suspensions++
+				return
+			}
+		}
+		switch {
+		case hoisting:
+			blk = s.ctx.TryHoist(op, true)
+		case op.IsBranch():
+			blk = s.ctx.TryMoveCJUp(op, true)
+		default:
+			if s.opts.Renaming {
+				blk = s.ctx.TryMoveOpUpRenamed(op)
+			} else {
+				blk = s.ctx.TryMoveOpUp(op, true, nil)
+			}
+		}
+
+		if blk.Kind != ps.BlockNone {
+			s.recordBlock(n, cur, op, blk)
+			if progressed {
+				s.stats.PartialMoves++
+			}
+			return
+		}
+		progressed = true
+		if wasFull || op.IsBranch() {
+			// Leaving a full node can unblock resource-blocked ops;
+			// branch moves restructure the chain. Either way, retry.
+			s.gen++
+		}
+		if len(s.suspended) > 0 {
+			// Rule 2: a successful move may have made a suspended op's
+			// gapless test satisfiable; wake them and re-rank.
+			s.stats.Unsuspensions += len(s.suspended)
+			s.clearSuspensions()
+			s.gen++
+			s.stats.PartialMoves++
+			return
+		}
+	}
+	s.stats.ArrivedAtTarget++
+	s.gen++
+}
+
+func (s *scheduler) recordBlock(target, cur *graph.Node, op *ir.Op, blk ps.Block) {
+	switch blk.Kind {
+	case ps.BlockResource:
+		// Blocked by a full node that is not the scheduling target:
+		// the paper's resource barrier.
+		pred := s.ctx.G.SinglePred(cur)
+		if pred != nil && pred != target {
+			s.stats.ResourceBarriers++
+			s.barrierSet[op] = true
+		}
+	case ps.BlockDep:
+		// The op is unmoveable if it is pinned by something that will
+		// never move again: a frozen clone, an op already marked
+		// unmoveable, or an op resting in the scheduled region.
+		by := blk.By
+		if by == nil {
+			s.unmoveable[op] = true
+			return
+		}
+		if by.Frozen || s.unmoveable[by] {
+			s.unmoveable[op] = true
+			return
+		}
+		if home := s.ctx.G.NodeOf(by); home != nil {
+			if home.Pos() <= target.Pos() {
+				s.unmoveable[op] = true
+			}
+		}
+	case ps.BlockStructure:
+		// Entry reached or shape limit: nothing more to do for now.
+	}
+}
+
+// MoveableSet returns the current Moveable-ops set of n in ranked order:
+// every non-frozen op below n not yet marked unmoveable. Exposed for
+// tracing and tests.
+func (s *scheduler) MoveableSet(n *graph.Node) []*ir.Op {
+	g := s.ctx.G
+	limit := n.Pos()
+	var out []*ir.Op
+	for _, op := range s.ranked {
+		if op.Frozen || s.unmoveable[op] {
+			continue
+		}
+		home := g.NodeOf(op)
+		if home == nil || home.Drain {
+			continue
+		}
+		if home.Pos() > limit {
+			out = append(out, op)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/ps"
+)
+
+// maxGaplessDepth bounds the condition-4 recursion. The paper notes the
+// search "is likely to be very localized"; the bound is a safety valve,
+// and exceeding it conservatively reports "might gap" (suspension).
+const maxGaplessDepth = 64
+
+// gaplessMove is the section 3.3 Gapless-move(From, To, Op) test: it
+// reports whether moving op up out of node from can be done without
+// creating a permanent gap in op's iteration. Conditions, in the paper's
+// order:
+//
+//  1. op is the only operation scheduled at from — the node is deleted
+//     by the move, so no row can gap;
+//  2. another operation from op's iteration stays at from;
+//  3. op is the last operation of its iteration at or below from;
+//  4. some successor S of from holds an operation X of the same
+//     iteration that would be moveable from S into from once op has
+//     left, and Gapless-move(S, from, X) holds recursively — the
+//     temporary gap op leaves is certain to be fillable.
+func (s *scheduler) gaplessMove(from *graph.Node, op *ir.Op) bool {
+	return s.gapless(from, op, 0)
+}
+
+func (s *scheduler) gapless(from *graph.Node, op *ir.Op, depth int) bool {
+	if depth > maxGaplessDepth {
+		return false
+	}
+	// Condition 1.
+	if from.OpCount()+from.BranchCount() == 1 {
+		return true
+	}
+	// Condition 2.
+	if from.IterCount(op.Iter) >= 2 {
+		return true
+	}
+	// Condition 3.
+	if s.isLastOfIter(from, op) {
+		return true
+	}
+	// Condition 4.
+	for _, succ := range from.Successors() {
+		if succ.Drain {
+			continue
+		}
+		if x := s.findFiller(from, succ, op, depth); x != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// findFiller looks in succ for an op X of op's iteration that can fill
+// the gap op would leave at from.
+func (s *scheduler) findFiller(from, succ *graph.Node, op *ir.Op, depth int) *ir.Op {
+	var found *ir.Op
+	succ.Walk(func(v *graph.Vertex) {
+		if found != nil {
+			return
+		}
+		consider := func(x *ir.Op) {
+			if found != nil || x.Frozen || x == op || x.Iter != op.Iter {
+				return
+			}
+			if !s.canFill(x, op) {
+				return
+			}
+			if s.gapless(succ, x, depth+1) {
+				found = x
+			}
+		}
+		for _, x := range v.Ops {
+			consider(x)
+		}
+		if v.CJ != nil {
+			consider(v.CJ)
+		}
+	})
+	return found
+}
+
+// canFill reports whether x could move one node up, assuming `leaving`
+// has already vacated the target. An x buried under a branch inside its
+// node is treated as fillable when it can hoist (it will surface and
+// then move); this slight optimism is documented in DESIGN.md.
+func (s *scheduler) canFill(x, leaving *ir.Op) bool {
+	if x.IsBranch() {
+		return s.ctx.TryMoveCJUp(x, false).Kind == ps.BlockNone
+	}
+	v := s.ctx.G.Where(x)
+	if v != v.Node().Root {
+		return s.ctx.TryHoist(x, false).Kind == ps.BlockNone
+	}
+	return s.ctx.TryMoveOpUp(x, false, leaving).Kind == ps.BlockNone
+}
+
+// isLastOfIter reports whether no schedulable operation of op's
+// iteration exists strictly below from. Main-chain nodes are totally
+// ordered by their position keys, so the per-iteration op lists make
+// this an O(body) check instead of a graph scan.
+func (s *scheduler) isLastOfIter(from *graph.Node, op *ir.Op) bool {
+	limit := from.Pos()
+	for _, op2 := range s.byIter[op.Iter] {
+		if op2 == op || op2.Frozen {
+			continue
+		}
+		home := s.ctx.G.NodeOf(op2)
+		if home == nil || home.Drain {
+			continue
+		}
+		if home.Pos() > limit {
+			return false
+		}
+	}
+	return true
+}

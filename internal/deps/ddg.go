@@ -1,0 +1,108 @@
+package deps
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// DDG is the data-dependence graph of an operation sequence (usually the
+// unwound loop, in original sequential order). Edges run from producers
+// to the later operations that must not be reordered above them.
+type DDG struct {
+	Ops  []*ir.Op
+	succ map[*ir.Op][]*ir.Op
+	pred map[*ir.Op][]*ir.Op
+
+	chain      map[*ir.Op]int
+	dependents map[*ir.Op]int
+}
+
+// Build constructs the DDG for ops, which must be in original sequential
+// order. Only serializing dependences (register true deps and memory
+// conflicts) form edges: the unwinder emits SSA-renamed code, so
+// anti/output register dependences cannot occur, and they are exactly the
+// dependences renaming would remove anyway.
+func Build(ops []*ir.Op) *DDG {
+	d := &DDG{
+		Ops:        ops,
+		succ:       make(map[*ir.Op][]*ir.Op, len(ops)),
+		pred:       make(map[*ir.Op][]*ir.Op, len(ops)),
+		chain:      make(map[*ir.Op]int, len(ops)),
+		dependents: make(map[*ir.Op]int, len(ops)),
+	}
+	for i, a := range ops {
+		for _, b := range ops[i+1:] {
+			if Serializes(a, b) {
+				d.succ[a] = append(d.succ[a], b)
+				d.pred[b] = append(d.pred[b], a)
+			}
+		}
+	}
+	// Longest dependence chain rooted at each op, in ops, computed
+	// backwards over the sequential order (the DDG is a DAG because
+	// edges always point later in the sequence).
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		best := 0
+		for _, s := range d.succ[op] {
+			if c := d.chain[s]; c > best {
+				best = c
+			}
+		}
+		d.chain[op] = best + 1
+		d.dependents[op] = len(d.succ[op])
+	}
+	return d
+}
+
+// ChainLen returns the length (in operations, including op itself) of
+// the longest dependence chain rooted at op.
+func (d *DDG) ChainLen(op *ir.Op) int { return d.chain[op] }
+
+// Dependents returns the number of direct dependents of op.
+func (d *DDG) Dependents(op *ir.Op) int { return d.dependents[op] }
+
+// Succs returns the dependence successors of op.
+func (d *DDG) Succs(op *ir.Op) []*ir.Op { return d.succ[op] }
+
+// Preds returns the dependence predecessors of op.
+func (d *DDG) Preds(op *ir.Op) []*ir.Op { return d.pred[op] }
+
+// Priority is the section 3.4 operation ordering: operation A precedes
+// operation B if A's iteration is earlier (the Perfect Pipelining
+// stipulation), then if the longest dependence chain rooted at A is
+// longer, then if A has more dependents, then by original program order
+// as a deterministic tiebreak.
+type Priority struct {
+	d *DDG
+}
+
+// NewPriority returns the ranking over the DDG's operations.
+func NewPriority(d *DDG) *Priority { return &Priority{d: d} }
+
+// Before reports whether a has strictly higher priority than b.
+func (p *Priority) Before(a, b *ir.Op) bool {
+	if a.Iter != b.Iter {
+		// NoIter (= -1) pre-loop code naturally ranks highest.
+		return a.Iter < b.Iter
+	}
+	ca, cb := p.d.chain[a], p.d.chain[b]
+	if ca != cb {
+		return ca > cb
+	}
+	da, db := p.d.dependents[a], p.d.dependents[b]
+	if da != db {
+		return da > db
+	}
+	if a.Origin != b.Origin {
+		return a.Origin < b.Origin
+	}
+	return a.ID < b.ID
+}
+
+// Rank sorts ops by descending priority (highest first), stably and
+// deterministically.
+func (p *Priority) Rank(ops []*ir.Op) {
+	sort.SliceStable(ops, func(i, j int) bool { return p.Before(ops[i], ops[j]) })
+}

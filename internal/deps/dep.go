@@ -1,0 +1,54 @@
+// Package deps implements dependence analysis: pairwise dependence
+// tests, the data-dependence graph of an unwound loop, the section 3.4
+// scheduling priorities, loop-carried dependence analysis (recurrence
+// bounds), and register liveness queries on program graphs.
+package deps
+
+import (
+	"repro/internal/ir"
+)
+
+// TrueDep reports whether b consumes a register value a produces.
+func TrueDep(a, b *ir.Op) bool {
+	d := a.Def()
+	return d != ir.NoReg && b.ReadsReg(d)
+}
+
+// AntiDep reports whether b writes a register a reads.
+func AntiDep(a, b *ir.Op) bool {
+	d := b.Def()
+	return d != ir.NoReg && a.ReadsReg(d)
+}
+
+// OutputDep reports whether a and b write the same register.
+func OutputDep(a, b *ir.Op) bool {
+	return a.Def() != ir.NoReg && a.Def() == b.Def()
+}
+
+// MemDep reports whether a and b touch possibly-aliasing memory with at
+// least one store. Load/load pairs never conflict.
+func MemDep(a, b *ir.Op) bool {
+	if a.Mem.IsZero() || b.Mem.IsZero() {
+		return false
+	}
+	if !a.IsStore() && !b.IsStore() {
+		return false
+	}
+	return a.Mem.MayAlias(b.Mem)
+}
+
+// Blocks reports whether op b (later in program order) may not be
+// reordered above op a (earlier): any register true/anti/output
+// dependence or memory conflict. Percolation Scheduling can remove
+// register anti/output conflicts by renaming, but reordering without
+// renaming requires the full test.
+func Blocks(a, b *ir.Op) bool {
+	return TrueDep(a, b) || AntiDep(a, b) || OutputDep(a, b) || MemDep(a, b)
+}
+
+// Serializes reports the dependences that survive renaming: register
+// true dependences and memory conflicts. These are the "strict data
+// dependencies" that bound how far GRiP may move an operation.
+func Serializes(a, b *ir.Op) bool {
+	return TrueDep(a, b) || MemDep(a, b)
+}

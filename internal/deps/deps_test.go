@@ -1,0 +1,194 @@
+package deps
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+func TestPairwiseDeps(t *testing.T) {
+	a := &ir.Op{Kind: ir.Add, Dst: 1, Src: [2]ir.Reg{2, 3}}
+	b := &ir.Op{Kind: ir.Mul, Dst: 4, Src: [2]ir.Reg{1, 3}}
+	if !TrueDep(a, b) || TrueDep(b, a) {
+		t.Error("TrueDep wrong")
+	}
+	if !AntiDep(b, a) { // a writes r1 which b reads -> reversed pair
+		t.Error("AntiDep wrong")
+	}
+	c := &ir.Op{Kind: ir.Sub, Dst: 1, Src: [2]ir.Reg{5, 6}}
+	if !OutputDep(a, c) {
+		t.Error("OutputDep wrong")
+	}
+	if !Blocks(a, b) || !Serializes(a, b) {
+		t.Error("Blocks/Serializes wrong")
+	}
+	if Serializes(b, c) { // anti only: removable by renaming
+		t.Error("anti dep must not serialize")
+	}
+	if !Blocks(b, c) {
+		t.Error("anti dep must block un-renamed motion")
+	}
+}
+
+func TestMemDeps(t *testing.T) {
+	st := &ir.Op{Kind: ir.Store, Src: [2]ir.Reg{1}, Mem: ir.MemRef{Array: 1, Index: 5}}
+	ld := &ir.Op{Kind: ir.Load, Dst: 2, Mem: ir.MemRef{Array: 1, Index: 5}}
+	ld2 := &ir.Op{Kind: ir.Load, Dst: 3, Mem: ir.MemRef{Array: 1, Index: 6}}
+	ldInd := &ir.Op{Kind: ir.Load, Dst: 4, Mem: ir.MemRef{Array: 1, IndexReg: 9}}
+	if !MemDep(st, ld) {
+		t.Error("store/load same cell must conflict")
+	}
+	if MemDep(st, ld2) {
+		t.Error("different cells must not conflict")
+	}
+	if MemDep(ld, ld2) || MemDep(ld, ldInd) {
+		t.Error("load/load pairs never conflict")
+	}
+	if !MemDep(st, ldInd) {
+		t.Error("indirect ref must conservatively conflict")
+	}
+}
+
+func TestDDGChainsAndPriority(t *testing.T) {
+	// a -> b -> c and independent d.
+	a := &ir.Op{ID: 1, Origin: 0, Iter: 0, Kind: ir.Const, Dst: 1, Imm: 1}
+	b := &ir.Op{ID: 2, Origin: 1, Iter: 0, Kind: ir.Add, Dst: 2, Src: [2]ir.Reg{1}, Imm: 1, BImm: true}
+	c := &ir.Op{ID: 3, Origin: 2, Iter: 0, Kind: ir.Add, Dst: 3, Src: [2]ir.Reg{2}, Imm: 1, BImm: true}
+	d := &ir.Op{ID: 4, Origin: 3, Iter: 0, Kind: ir.Const, Dst: 4, Imm: 7}
+	g := Build([]*ir.Op{a, b, c, d})
+	if g.ChainLen(a) != 3 || g.ChainLen(b) != 2 || g.ChainLen(c) != 1 || g.ChainLen(d) != 1 {
+		t.Fatalf("chains: a=%d b=%d c=%d d=%d", g.ChainLen(a), g.ChainLen(b), g.ChainLen(c), g.ChainLen(d))
+	}
+	p := NewPriority(g)
+	if !p.Before(a, b) || !p.Before(b, c) || !p.Before(a, d) {
+		t.Error("chain-length priority wrong")
+	}
+	// c and d tie on chain length and dependents; original order breaks it.
+	if !p.Before(c, d) || p.Before(d, c) {
+		t.Error("tiebreak wrong")
+	}
+	// Iteration dominates everything.
+	e := &ir.Op{ID: 5, Origin: 0, Iter: 1, Kind: ir.Const, Dst: 5, Imm: 1}
+	g2 := Build([]*ir.Op{a, b, c, d, e})
+	p2 := NewPriority(g2)
+	if !p2.Before(d, e) {
+		t.Error("iteration stipulation violated")
+	}
+	ops := []*ir.Op{e, d, c, b, a}
+	p2.Rank(ops)
+	if ops[0] != a || ops[len(ops)-1] != e {
+		t.Errorf("Rank order wrong: %v", ops)
+	}
+}
+
+func dotSpec() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "dot",
+		Body: []ir.BodyOp{
+			ir.BLoad("t1", ir.Aff("Z", 1, 0)),
+			ir.BLoad("t2", ir.Aff("X", 1, 0)),
+			ir.BMul("t3", "t1", "t2"),
+			ir.BAdd("q", "q", "t3"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"q"}, LiveOut: []string{"q"},
+	}
+}
+
+func TestAnalyzeAccumulatorRecurrence(t *testing.T) {
+	info := Analyze(dotSpec())
+	if info.NumOps != 6 {
+		t.Fatalf("NumOps = %d, want 6", info.NumOps)
+	}
+	// q = q + t3 is a 1-op cycle at distance 1: RecMII 1 (the counter
+	// increment forms the same bound).
+	if math.Abs(info.RecMII-1) > 1e-6 {
+		t.Fatalf("RecMII = %v, want 1", info.RecMII)
+	}
+	// load -> mul -> add is the critical intra-iteration chain.
+	if info.CritPath != 3 {
+		t.Fatalf("CritPath = %d, want 3", info.CritPath)
+	}
+}
+
+func TestAnalyzeMemoryRecurrence(t *testing.T) {
+	// LL5-style: x[k] = z[k]*(y[k] - x[k-1]); raw memory recurrence
+	// load x[k-1] <- store x[k] at distance 1 gives a 4-op cycle:
+	// load, sub, mul, store / distance 1 -> RecMII 4.
+	s := &ir.LoopSpec{
+		Name: "tridiag",
+		Body: []ir.BodyOp{
+			ir.BLoad("a", ir.Aff("X", 1, -1)),
+			ir.BLoad("b", ir.Aff("Y", 1, 0)),
+			ir.BSub("c", "b", "a"),
+			ir.BLoad("z", ir.Aff("Z", 1, 0)),
+			ir.BMul("d", "z", "c"),
+			ir.BStore(ir.Aff("X", 1, 0), "d"),
+		},
+		Step: 1, TripVar: "n",
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	info := Analyze(s)
+	if math.Abs(info.RecMII-4) > 1e-6 {
+		t.Fatalf("RecMII = %v, want 4", info.RecMII)
+	}
+}
+
+func TestAnalyzeVectorizable(t *testing.T) {
+	s := &ir.LoopSpec{
+		Name: "saxpy",
+		Body: []ir.BodyOp{
+			ir.BLoad("t1", ir.Aff("Y", 1, 0)),
+			ir.BMul("t2", "t1", "r"),
+			ir.BStore(ir.Aff("X", 1, 0), "t2"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"r"},
+	}
+	info := Analyze(s)
+	// Only the counter's own increment cycle remains: RecMII 1.
+	if math.Abs(info.RecMII-1) > 1e-6 {
+		t.Fatalf("RecMII = %v, want 1", info.RecMII)
+	}
+}
+
+func TestMemDistances(t *testing.T) {
+	spec := &ir.LoopSpec{Step: 1}
+	// store X[k] vs load X[k-1]: distance 1.
+	d := memDistances(spec, ir.Aff("X", 1, 0), ir.Aff("X", 1, -1))
+	if len(d) != 1 || d[0] != 1 {
+		t.Fatalf("distances = %v, want [1]", d)
+	}
+	// store X[k] vs load X[k+1]: never (negative distance).
+	if d := memDistances(spec, ir.Aff("X", 1, 0), ir.Aff("X", 1, 1)); len(d) != 0 {
+		t.Fatalf("distances = %v, want none", d)
+	}
+	// scalar cell: all distances, conservatively {0,1}.
+	if d := memDistances(spec, ir.Aff("X", 0, 3), ir.Aff("X", 0, 3)); len(d) != 2 {
+		t.Fatalf("distances = %v, want [0 1]", d)
+	}
+	// indirect: conservative.
+	if d := memDistances(spec, ir.Ind("X", "i", 0), ir.Aff("X", 1, 0)); len(d) != 2 {
+		t.Fatalf("distances = %v, want [0 1]", d)
+	}
+}
+
+func TestResMIIBounds(t *testing.T) {
+	if got := ResMII(9, 4); math.Abs(got-2.25) > 1e-9 {
+		t.Fatalf("ResMII(9,4) = %v", got)
+	}
+	if got := ResMII(3, 8); got != 1 { // branch slot floor
+		t.Fatalf("ResMII(3,8) = %v, want 1", got)
+	}
+	if got := ResMII(9, -1); got != 1 {
+		t.Fatalf("ResMII unlimited = %v, want 1", got)
+	}
+	if got := ModuloResMII(9, 4); got != 3 {
+		t.Fatalf("ModuloResMII(9,4) = %d, want 3", got)
+	}
+	info := Analyze(dotSpec())
+	if b := info.RateBound(6, 2); math.Abs(b-3) > 1e-9 {
+		t.Fatalf("RateBound = %v, want 3", b)
+	}
+}

@@ -1,0 +1,121 @@
+package deps
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// LiveAtEntry reports whether register r may be read before being
+// overwritten on some execution path starting at node n (inclusive).
+// exitLive lists registers observable at program exit.
+//
+// Reads inside an instruction happen at instruction entry (parallel
+// fetch), so any use of r anywhere in a node's tree makes r live at that
+// node's entry. A definition kills r only when it commits on every path
+// through the node, i.e. when the defining operation sits at the root
+// vertex.
+func LiveAtEntry(g *graph.Graph, n *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	seen := map[*graph.Node]bool{}
+	var visit func(m *graph.Node) bool
+	visit = func(m *graph.Node) bool {
+		if m == nil {
+			return exitLive[r]
+		}
+		if seen[m] {
+			return false
+		}
+		seen[m] = true
+		used := false
+		killed := false
+		m.Walk(func(v *graph.Vertex) {
+			for _, op := range v.Ops {
+				if op.ReadsReg(r) {
+					used = true
+				}
+				if op.Def() == r && v == m.Root {
+					killed = true
+				}
+			}
+			if v.CJ != nil && v.CJ.ReadsReg(r) {
+				used = true
+			}
+		})
+		if used {
+			return true
+		}
+		if killed {
+			return false
+		}
+		for _, l := range m.Leaves() {
+			if visit(l.Succ) {
+				return true
+			}
+		}
+		return false
+	}
+	return visit(n)
+}
+
+// LiveOnSubtree reports whether register r is observable when control
+// flows through the instruction subtree rooted at v: either some
+// downstream node (reached from a leaf under v) may read r before
+// killing it, or the program exits under v with r in exitLive. Uses
+// *inside* the node fetch at entry and are unaffected by commits, so
+// only downstream liveness matters. This is the write-live test for
+// speculative hoisting past a branch.
+func LiveOnSubtree(g *graph.Graph, v *graph.Vertex, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	live := false
+	var walk func(w *graph.Vertex)
+	walk = func(w *graph.Vertex) {
+		if live {
+			return
+		}
+		if w.IsLeaf() {
+			if w.Succ == nil {
+				if exitLive[r] {
+					live = true
+				}
+			} else if LiveAtEntry(g, w.Succ, r, exitLive) {
+				live = true
+			}
+			return
+		}
+		walk(w.True)
+		walk(w.False)
+	}
+	walk(v)
+	return live
+}
+
+// SubtreeDefines reports whether any operation in the subtree rooted at v
+// (branches excluded — they define nothing) writes register r.
+func SubtreeDefines(v *graph.Vertex, r ir.Reg) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	found := false
+	var walk func(w *graph.Vertex)
+	walk = func(w *graph.Vertex) {
+		if found {
+			return
+		}
+		for _, op := range w.Ops {
+			if op.Def() == r {
+				found = true
+				return
+			}
+		}
+		if !w.IsLeaf() {
+			walk(w.True)
+			walk(w.False)
+		}
+	}
+	walk(v)
+	return found
+}

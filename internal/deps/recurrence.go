@@ -1,0 +1,241 @@
+package deps
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// BodyDep is a dependence between loop-body operations: the operation at
+// index To in iteration t+Dist depends on the operation at index From in
+// iteration t. Indices address the extended body: the declared body
+// operations followed by the two synthesized control operations (counter
+// increment, then the loop-back conditional jump).
+type BodyDep struct {
+	From, To int
+	Dist     int
+}
+
+// LoopInfo summarizes the dependence structure of a loop body.
+type LoopInfo struct {
+	// NumOps counts extended-body operations (body + 2 control ops);
+	// this is the sequential cycle cost per iteration.
+	NumOps int
+	// Edges are the body dependences, distances >= 0.
+	Edges []BodyDep
+	// RecMII is the recurrence-constrained minimum initiation interval
+	// in cycles per iteration: the maximum over dependence cycles of
+	// (operations in cycle)/(sum of distances). Zero when the loop has
+	// no recurrence.
+	RecMII float64
+	// CritPath is the longest intra-iteration dependence chain.
+	CritPath int
+}
+
+// ExtendedBody returns the body operations plus the two synthesized
+// control operations in their sequential order.
+func ExtendedBody(spec *ir.LoopSpec) []ir.BodyOp {
+	ext := make([]ir.BodyOp, 0, len(spec.Body)+2)
+	ext = append(ext, spec.Body...)
+	ext = append(ext, ir.BodyOp{Kind: ir.Add, Dst: ir.CounterVar, A: ir.CounterVar, Imm: spec.Step, UseImm: true})
+	ext = append(ext, ir.BodyOp{Kind: ir.CJ, A: ir.CounterVar, B: spec.TripVar})
+	return ext
+}
+
+// Analyze computes the loop-level dependence structure of spec.
+func Analyze(spec *ir.LoopSpec) *LoopInfo {
+	ext := ExtendedBody(spec)
+	n := len(ext)
+	info := &LoopInfo{NumOps: n}
+
+	// Register dependences. lastDef maps a variable to the extended-body
+	// index of its most recent definition during a forward scan; a use
+	// before any definition reads the previous iteration's final value
+	// when the variable is written later in the body (carried), and is
+	// a loop invariant otherwise.
+	finalDef := map[string]int{}
+	for i, op := range ext {
+		if op.Dst != "" {
+			finalDef[op.Dst] = i
+		}
+	}
+	addEdge := func(from, to, dist int) {
+		info.Edges = append(info.Edges, BodyDep{From: from, To: to, Dist: dist})
+	}
+	lastDef := map[string]int{}
+	useVar := func(i int, v string) {
+		if v == "" {
+			return
+		}
+		if def, ok := lastDef[v]; ok {
+			addEdge(def, i, 0)
+			return
+		}
+		if def, ok := finalDef[v]; ok {
+			addEdge(def, i, 1)
+		}
+	}
+	for i, op := range ext {
+		useVar(i, op.A)
+		if !op.UseImm {
+			useVar(i, op.B)
+		}
+		if op.Mem.IndexVar != "" {
+			useVar(i, op.Mem.IndexVar)
+		}
+		if op.Dst != "" {
+			lastDef[op.Dst] = i
+		}
+	}
+
+	// Memory dependences.
+	for i, a := range ext {
+		for j, b := range ext {
+			if a.Mem.Array == "" || b.Mem.Array == "" || a.Mem.Array != b.Mem.Array {
+				continue
+			}
+			if a.Kind != ir.Store && b.Kind != ir.Store {
+				continue
+			}
+			for _, d := range memDistances(spec, a.Mem, b.Mem) {
+				if d > 0 || (d == 0 && i < j) {
+					addEdge(i, j, d)
+				}
+			}
+		}
+	}
+
+	info.CritPath = critPath(n, info.Edges)
+	info.RecMII = maxCycleRatio(n, info.Edges)
+	return info
+}
+
+// memDistances returns the iteration distances d >= 0 at which reference
+// a in iteration t can touch the same cell as reference b in iteration
+// t+d. Analyzable affine pairs give at most one distance; everything
+// else is handled conservatively with distances {0, 1}, which serializes
+// the references (this is what bounds the particle-in-cell kernels).
+func memDistances(spec *ir.LoopSpec, a, b ir.BodyRef) []int {
+	if a.IndexVar == "" && b.IndexVar == "" && a.KCoef == b.KCoef {
+		c := a.KCoef
+		if c == 0 {
+			if a.Off == b.Off {
+				return []int{0, 1}
+			}
+			return nil
+		}
+		num := a.Off - b.Off
+		den := c * spec.Step
+		if den != 0 && num%den == 0 {
+			d := num / den
+			if d >= 0 {
+				return []int{int(d)}
+			}
+		}
+		return nil
+	}
+	return []int{0, 1}
+}
+
+// critPath returns the longest chain of distance-0 edges, in operations.
+func critPath(n int, edges []BodyDep) int {
+	depth := make([]int, n)
+	for i := 0; i < n; i++ {
+		depth[i] = 1
+	}
+	// Distance-0 edges always point forward in body order, so one
+	// forward pass suffices.
+	for i := 0; i < n; i++ {
+		for _, e := range edges {
+			if e.Dist == 0 && e.To > e.From && depth[e.From]+1 > depth[e.To] {
+				depth[e.To] = depth[e.From] + 1
+			}
+		}
+	}
+	best := 0
+	for _, d := range depth {
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// maxCycleRatio computes max over dependence cycles of (#ops)/(sum of
+// distances) by binary search on the ratio r: a cycle with positive
+// total weight under w(e) = 1 - r*dist(e) exists iff the true ratio
+// exceeds r. Bellman-Ford detects positive cycles.
+func maxCycleRatio(n int, edges []BodyDep) float64 {
+	if n == 0 {
+		return 0
+	}
+	hasPositiveCycle := func(r float64) bool {
+		dist := make([]float64, n) // start at 0 everywhere: superset of all sources
+		for iter := 0; iter < n; iter++ {
+			changed := false
+			for _, e := range edges {
+				w := 1 - r*float64(e.Dist)
+				if dist[e.From]+w > dist[e.To]+1e-12 {
+					dist[e.To] = dist[e.From] + w
+					changed = true
+				}
+			}
+			if !changed {
+				return false
+			}
+		}
+		// Still relaxing after n rounds: positive cycle.
+		for _, e := range edges {
+			w := 1 - r*float64(e.Dist)
+			if dist[e.From]+w > dist[e.To]+1e-12 {
+				return true
+			}
+		}
+		return false
+	}
+	lo, hi := 0.0, float64(n)
+	if !hasPositiveCycle(lo + 1e-9) {
+		return 0
+	}
+	for i := 0; i < 60 && hi-lo > 1e-9; i++ {
+		mid := (lo + hi) / 2
+		if hasPositiveCycle(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// ResMII returns the steady-state resource bound in cycles per
+// iteration for a kernel whose pattern may span several iterations:
+// ops/fus, but never below 1 (one conditional jump retires per cycle
+// with a single branch slot). fus <= 0 means unlimited.
+func ResMII(opsPerIter, fus int) float64 {
+	if fus <= 0 {
+		return 1
+	}
+	r := float64(opsPerIter) / float64(fus)
+	return math.Max(r, 1)
+}
+
+// ModuloResMII is the classic single-iteration resource bound used by
+// modulo scheduling: ceil(ops/fus), at least 1.
+func ModuloResMII(opsPerIter, fus int) int {
+	if fus <= 0 {
+		return 1
+	}
+	ii := (opsPerIter + fus - 1) / fus
+	if ii < 1 {
+		ii = 1
+	}
+	return ii
+}
+
+// RateBound returns the minimum achievable cycles per iteration for the
+// loop on a machine with the given functional units: the larger of the
+// recurrence and resource bounds.
+func (info *LoopInfo) RateBound(opsPerIter, fus int) float64 {
+	return math.Max(info.RecMII, ResMII(opsPerIter, fus))
+}

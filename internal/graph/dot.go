@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz format for visual inspection of
+// schedules: one record-shaped node per instruction (operations listed,
+// drains dashed), edges labelled with the branch outcome that takes
+// them.
+func (g *Graph) DOT(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n", title)
+	for _, n := range g.Order() {
+		style := ""
+		if n.Drain {
+			style = ", style=dashed"
+		}
+		var ops []string
+		n.Walk(func(v *Vertex) {
+			for _, op := range v.Ops {
+				ops = append(ops, escapeDOT(op.String()))
+			}
+			if v.CJ != nil {
+				ops = append(ops, escapeDOT(v.CJ.String()))
+			}
+		})
+		label := fmt.Sprintf("n%d", n.ID)
+		if len(ops) > 0 {
+			label += "\\n" + strings.Join(ops, "\\n")
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"%s];\n", n.ID, label, style)
+
+		// Edges, labelled by the branch path that selects them.
+		var emit func(v *Vertex, path string)
+		emit = func(v *Vertex, path string) {
+			if v.IsLeaf() {
+				if v.Succ != nil {
+					lbl := ""
+					if path != "" {
+						lbl = fmt.Sprintf(" [label=%q]", path)
+					}
+					fmt.Fprintf(&b, "  n%d -> n%d%s;\n", n.ID, v.Succ.ID, lbl)
+				}
+				return
+			}
+			emit(v.True, path+"T")
+			emit(v.False, path+"F")
+		}
+		emit(n.Root, "")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func escapeDOT(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return s
+}

@@ -1,0 +1,24 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTExport(t *testing.T) {
+	g, ns, _ := buildChain(t)
+	dot := g.DOT("test")
+	for _, want := range []string{
+		"digraph \"test\"",
+		"style=dashed", // the drain node
+		"label=\"T\"",  // branch true edge
+		"label=\"F\"",  // branch false edge
+		"cj r",         // the branch op rendered
+		"rankdir=TB",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	_ = ns
+}

@@ -1,0 +1,481 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Graph is a VLIW program graph. All structural mutation must go through
+// Graph methods so that predecessor sets, operation locations, and the
+// cached traversal order stay consistent; Validate cross-checks every
+// invariant and is run liberally in tests.
+type Graph struct {
+	Entry *Node
+	Alloc *ir.Alloc
+
+	nodes map[*Node]bool
+	preds map[*Node]map[*Node]int // successor -> predecessor -> edge count
+	locs  map[*ir.Op]*Vertex
+
+	version    uint64
+	orderVer   uint64
+	orderCache []*Node
+	indexCache map[*Node]int
+	nextNodeID int
+	maxPos     float64
+}
+
+// New returns an empty graph sharing the given allocator.
+func New(alloc *ir.Alloc) *Graph {
+	if alloc == nil {
+		alloc = ir.NewAlloc()
+	}
+	return &Graph{
+		Alloc: alloc,
+		nodes: make(map[*Node]bool),
+		preds: make(map[*Node]map[*Node]int),
+		locs:  make(map[*ir.Op]*Vertex),
+	}
+}
+
+// Version changes whenever the graph structure or op placement changes.
+func (g *Graph) Version() uint64 { return g.version }
+
+func (g *Graph) bump() { g.version++ }
+
+// NewNode creates a node whose tree is a single leaf with no successor.
+// Its position key places it after every existing node; use SetPos or
+// PlaceBetween when inserting mid-chain.
+func (g *Graph) NewNode() *Node {
+	g.nextNodeID++
+	g.maxPos++
+	n := &Node{ID: g.nextNodeID, pos: g.maxPos}
+	n.Root = &Vertex{node: n}
+	g.nodes[n] = true
+	g.bump()
+	return n
+}
+
+// SetPos overrides a node's order-maintenance key.
+func (g *Graph) SetPos(n *Node, pos float64) {
+	n.pos = pos
+	if pos > g.maxPos {
+		g.maxPos = pos
+	}
+}
+
+// PlaceBetween keys n halfway between a and b (either may be nil for
+// "before everything" / "after everything").
+func (g *Graph) PlaceBetween(n, a, b *Node) {
+	switch {
+	case a == nil && b == nil:
+		g.maxPos++
+		n.pos = g.maxPos
+	case a == nil:
+		n.pos = b.pos - 1
+	case b == nil:
+		g.SetPos(n, a.pos+1)
+	default:
+		n.pos = (a.pos + b.pos) / 2
+	}
+}
+
+// NumNodes returns the number of live nodes.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Has reports whether n is a live node of this graph.
+func (g *Graph) Has(n *Node) bool { return g.nodes[n] }
+
+// Where returns the vertex currently holding op (branches included), or
+// nil if the op is not placed.
+func (g *Graph) Where(op *ir.Op) *Vertex { return g.locs[op] }
+
+// NodeOf returns the node currently holding op, or nil.
+func (g *Graph) NodeOf(op *ir.Op) *Node {
+	if v := g.locs[op]; v != nil {
+		return v.node
+	}
+	return nil
+}
+
+// Preds returns the distinct predecessors of n.
+func (g *Graph) Preds(n *Node) []*Node {
+	var ps []*Node
+	for p, c := range g.preds[n] {
+		if c > 0 {
+			ps = append(ps, p)
+		}
+	}
+	return ps
+}
+
+// PredEdgeCount returns the total number of edges into n.
+func (g *Graph) PredEdgeCount(n *Node) int {
+	t := 0
+	for _, c := range g.preds[n] {
+		t += c
+	}
+	return t
+}
+
+// SinglePred returns the unique predecessor of n when n has exactly one
+// incoming edge, else nil.
+func (g *Graph) SinglePred(n *Node) *Node {
+	var only *Node
+	total := 0
+	for p, c := range g.preds[n] {
+		if c > 0 {
+			total += c
+			only = p
+		}
+	}
+	if total == 1 {
+		return only
+	}
+	return nil
+}
+
+func (g *Graph) link(from, to *Node) {
+	if to == nil {
+		return
+	}
+	m := g.preds[to]
+	if m == nil {
+		m = make(map[*Node]int)
+		g.preds[to] = m
+	}
+	m[from]++
+}
+
+func (g *Graph) unlink(from, to *Node) {
+	if to == nil {
+		return
+	}
+	m := g.preds[to]
+	if m == nil || m[from] == 0 {
+		panic(fmt.Sprintf("graph: unlink of absent edge n%d->n%d", from.ID, to.ID))
+	}
+	m[from]--
+	if m[from] == 0 {
+		delete(m, from)
+	}
+}
+
+// RetargetLeaf points leaf at succ (nil for program exit), maintaining
+// predecessor sets.
+func (g *Graph) RetargetLeaf(leaf *Vertex, succ *Node) {
+	if !leaf.IsLeaf() {
+		panic("graph: RetargetLeaf on non-leaf vertex")
+	}
+	g.unlinkIfSet(leaf)
+	leaf.Succ = succ
+	g.link(leaf.node, succ)
+	g.bump()
+}
+
+func (g *Graph) unlinkIfSet(leaf *Vertex) {
+	if leaf.Succ != nil {
+		g.unlink(leaf.node, leaf.Succ)
+		leaf.Succ = nil
+	}
+}
+
+// AddOp places op at vertex v.
+func (g *Graph) AddOp(op *ir.Op, v *Vertex) {
+	if op.IsBranch() {
+		panic("graph: AddOp with branch op")
+	}
+	if g.locs[op] != nil {
+		panic("graph: op already placed")
+	}
+	v.Ops = append(v.Ops, op)
+	g.locs[op] = v
+	g.bump()
+}
+
+// RemoveOp detaches op from its vertex.
+func (g *Graph) RemoveOp(op *ir.Op) {
+	v := g.locs[op]
+	if v == nil {
+		panic("graph: RemoveOp of unplaced op")
+	}
+	if op.IsBranch() {
+		panic("graph: RemoveOp with branch op; use branch transforms")
+	}
+	if !v.removeOp(op) {
+		panic("graph: op location out of sync")
+	}
+	delete(g.locs, op)
+	g.bump()
+}
+
+// MoveOp detaches op from its current vertex and re-attaches it at v.
+func (g *Graph) MoveOp(op *ir.Op, v *Vertex) {
+	g.RemoveOp(op)
+	g.AddOp(op, v)
+}
+
+// InsertBranchAtLeaf replaces leaf with a branch vertex holding cj whose
+// true side goes to tSucc and false side to fSucc (nil meaning program
+// exit). The leaf's former successor edge is discarded; callers detach it
+// first. The leaf's operations stay on the new branch vertex (they commit
+// on both outcomes, exactly as they did when the vertex was a leaf). The
+// two fresh leaf vertices are returned (true side first).
+func (g *Graph) InsertBranchAtLeaf(leaf *Vertex, cj *ir.Op, tSucc, fSucc *Node) (*Vertex, *Vertex) {
+	if !leaf.IsLeaf() {
+		panic("graph: InsertBranchAtLeaf on non-leaf")
+	}
+	if !cj.IsBranch() {
+		panic("graph: InsertBranchAtLeaf with non-branch op")
+	}
+	if g.locs[cj] != nil {
+		panic("graph: branch already placed")
+	}
+	g.unlinkIfSet(leaf)
+
+	t := &Vertex{node: leaf.node, parent: leaf, Succ: tSucc}
+	f := &Vertex{node: leaf.node, parent: leaf, Succ: fSucc}
+	g.link(leaf.node, t.Succ)
+	g.link(leaf.node, f.Succ)
+
+	leaf.CJ = cj
+	leaf.True = t
+	leaf.False = f
+	g.locs[cj] = leaf
+	g.bump()
+	return t, f
+}
+
+// DetachBranchRoot removes the branch at the root vertex of n, which must
+// carry no nested structure responsibilities for the caller: it returns
+// the cj op (now unplaced) and the two subtrees, whose vertices still
+// claim n as their node until adopted elsewhere. The node n is deleted
+// from the graph; its root ops are returned for re-homing.
+func (g *Graph) DetachBranchRoot(n *Node) (cj *ir.Op, rootOps []*ir.Op, trueSub, falseSub *Vertex) {
+	r := n.Root
+	if r.IsLeaf() {
+		panic("graph: DetachBranchRoot on leaf root")
+	}
+	cj = r.CJ
+	delete(g.locs, cj)
+	rootOps = append(rootOps, r.Ops...)
+	for _, op := range rootOps {
+		delete(g.locs, op)
+	}
+	trueSub, falseSub = r.True, r.False
+	// Unlink every outgoing edge of n; the subtrees will be re-linked
+	// when adopted into new nodes.
+	n.Walk(func(v *Vertex) {
+		if v.IsLeaf() && v.Succ != nil {
+			g.unlink(n, v.Succ)
+			// Keep v.Succ: adoption re-links it.
+		}
+	})
+	if g.PredEdgeCount(n) != 0 {
+		panic("graph: DetachBranchRoot with live predecessors")
+	}
+	delete(g.nodes, n)
+	delete(g.preds, n)
+	g.bump()
+	return cj, rootOps, trueSub, falseSub
+}
+
+// AdoptSubtree makes sub the tree of fresh node n: vertex ownership moves
+// to n, leaf edges are linked, and contained ops keep their locations.
+// The node's previous root (a bare leaf from NewNode) is discarded.
+func (g *Graph) AdoptSubtree(n *Node, sub *Vertex) {
+	if n.Root != nil && (!n.Root.IsLeaf() || len(n.Root.Ops) != 0 || n.Root.Succ != nil) {
+		panic("graph: AdoptSubtree over non-empty node")
+	}
+	sub.parent = nil
+	n.Root = sub
+	var adopt func(v *Vertex)
+	adopt = func(v *Vertex) {
+		v.node = n
+		if v.IsLeaf() {
+			g.link(n, v.Succ)
+			return
+		}
+		adopt(v.True)
+		adopt(v.False)
+	}
+	adopt(sub)
+	g.bump()
+}
+
+// CloneSubtreeFrozen deep-copies the subtree rooted at sub for use on a
+// drain path: operations and branches are cloned with fresh IDs and
+// marked Frozen, leaf successors are preserved. The clone is returned
+// unattached (no node owner, no registered locations, no linked edges);
+// adopt it with AdoptSubtree.
+func (g *Graph) CloneSubtreeFrozen(sub *Vertex) *Vertex {
+	c := &Vertex{Succ: sub.Succ}
+	for _, op := range sub.Ops {
+		c.Ops = append(c.Ops, op.Clone(g.Alloc.OpID(), true))
+	}
+	if sub.CJ != nil {
+		c.CJ = sub.CJ.Clone(g.Alloc.OpID(), true)
+		c.True = g.CloneSubtreeFrozen(sub.True)
+		c.False = g.CloneSubtreeFrozen(sub.False)
+		c.True.parent = c
+		c.False.parent = c
+		c.Succ = nil
+	}
+	return c
+}
+
+// registerSubtree records locations for every op in an adopted subtree
+// whose ops are not yet registered (used for cloned drains).
+func (g *Graph) RegisterSubtreeOps(sub *Vertex) {
+	sub.walk(func(v *Vertex) {
+		for _, op := range v.Ops {
+			if g.locs[op] == nil {
+				g.locs[op] = v
+			}
+		}
+		if v.CJ != nil && g.locs[v.CJ] == nil {
+			g.locs[v.CJ] = v
+		}
+	})
+	g.bump()
+}
+
+// HoistOp moves op from its vertex to the parent vertex (one step toward
+// the root, past one conditional jump). Legality is the caller's job.
+func (g *Graph) HoistOp(op *ir.Op) {
+	v := g.locs[op]
+	if v == nil || v.parent == nil {
+		panic("graph: HoistOp at root or unplaced")
+	}
+	g.MoveOp(op, v.parent)
+}
+
+// SpliceOutEmpty removes an empty single-leaf node from the graph,
+// redirecting every predecessor edge to its fall-through successor. The
+// entry pointer is updated if needed. It reports whether the splice
+// happened.
+func (g *Graph) SpliceOutEmpty(n *Node) bool {
+	if !n.Empty() {
+		return false
+	}
+	ls := n.Leaves()
+	if len(ls) != 1 {
+		return false
+	}
+	succ := ls[0].Succ
+	if succ == n { // self-loop; cannot splice
+		return false
+	}
+	// Redirect every predecessor leaf pointing at n.
+	for _, p := range g.Preds(n) {
+		for _, leaf := range p.Leaves() {
+			if leaf.Succ == n {
+				g.RetargetLeaf(leaf, succ)
+			}
+		}
+	}
+	if g.Entry == n {
+		g.Entry = succ
+	}
+	g.RetargetLeaf(ls[0], nil)
+	delete(g.nodes, n)
+	delete(g.preds, n)
+	g.bump()
+	return true
+}
+
+// InsertBefore creates a fresh empty node in front of n: every
+// predecessor edge of n is redirected to the new node, whose single leaf
+// falls through to n. Entry is updated if n was the entry. Used for the
+// paper's "empty instructions at the beginning of the program"
+// mitigation and by the POST node-breaking pass.
+func (g *Graph) InsertBefore(n *Node) *Node {
+	nn := g.NewNode()
+	var before *Node
+	for _, p := range g.Preds(n) {
+		if before == nil || p.pos > before.pos {
+			before = p
+		}
+	}
+	g.PlaceBetween(nn, before, n)
+	for _, p := range g.Preds(n) {
+		for _, leaf := range p.Leaves() {
+			if leaf.Succ == n {
+				g.RetargetLeaf(leaf, nn)
+			}
+		}
+	}
+	g.RetargetLeaf(nn.Root, n)
+	if g.Entry == n {
+		g.Entry = nn
+	}
+	return nn
+}
+
+// Order returns the nodes in a deterministic reverse-postorder from the
+// entry (drain paths included). The result is cached until the graph
+// changes.
+func (g *Graph) Order() []*Node {
+	if g.orderCache != nil && g.orderVer == g.version {
+		return g.orderCache
+	}
+	var post []*Node
+	seen := map[*Node]bool{}
+	var dfs func(n *Node)
+	dfs = func(n *Node) {
+		if n == nil || seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, l := range n.Leaves() {
+			dfs(l.Succ)
+		}
+		post = append(post, n)
+	}
+	dfs(g.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	g.orderCache = post
+	g.indexCache = make(map[*Node]int, len(post))
+	for i, n := range post {
+		g.indexCache[n] = i
+	}
+	g.orderVer = g.version
+	return post
+}
+
+// Index returns the position of n in Order, or -1 if unreachable.
+func (g *Graph) Index(n *Node) int {
+	g.Order()
+	if i, ok := g.indexCache[n]; ok {
+		return i
+	}
+	return -1
+}
+
+// MainChain returns the non-drain spine of the graph: starting at entry,
+// repeatedly following the unique non-drain successor. This is the
+// instruction sequence whose rows form the pipelined schedule.
+func (g *Graph) MainChain() []*Node {
+	var chain []*Node
+	seen := map[*Node]bool{}
+	for n := g.Entry; n != nil && !seen[n]; {
+		seen[n] = true
+		chain = append(chain, n)
+		var next *Node
+		for _, s := range n.Successors() {
+			if s.Drain {
+				continue
+			}
+			if next != nil && next != s {
+				// Ambiguous: stop the spine here.
+				return chain
+			}
+			next = s
+		}
+		n = next
+	}
+	return chain
+}

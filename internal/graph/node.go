@@ -1,0 +1,146 @@
+package graph
+
+import (
+	"repro/internal/ir"
+)
+
+// Node is one VLIW instruction. The zero value is not usable; create
+// nodes with Graph.NewNode.
+type Node struct {
+	ID   int
+	Root *Vertex
+
+	// Drain marks nodes on loop-exit paths produced by move-cj node
+	// splitting. Drain nodes are executed by the simulator but never
+	// rescheduled; they form Perfect Pipelining's post-loop code.
+	Drain bool
+
+	// pos is an order-maintenance key: main-chain nodes compare by pos
+	// exactly as by chain order. Maintained by the Graph on insertion
+	// so schedulers get O(1) "is this node below that one" tests
+	// without recomputing traversal orders after every mutation.
+	pos float64
+}
+
+// Pos returns the node's order-maintenance key. Larger means later on
+// the main chain. Keys of drain nodes are not meaningful.
+func (n *Node) Pos() float64 { return n.pos }
+
+// Walk visits every vertex of the instruction tree in preorder.
+func (n *Node) Walk(f func(*Vertex)) {
+	if n.Root != nil {
+		n.Root.walk(f)
+	}
+}
+
+// Ops returns all non-branch operations in the instruction tree.
+func (n *Node) Ops() []*ir.Op {
+	var ops []*ir.Op
+	n.Walk(func(v *Vertex) { ops = append(ops, v.Ops...) })
+	return ops
+}
+
+// OpCount returns the number of non-branch operations in the tree; this
+// is the number of functional units the instruction occupies.
+func (n *Node) OpCount() int {
+	c := 0
+	n.Walk(func(v *Vertex) { c += len(v.Ops) })
+	return c
+}
+
+// BranchCount returns the number of conditional jumps in the tree.
+func (n *Node) BranchCount() int {
+	c := 0
+	n.Walk(func(v *Vertex) {
+		if v.CJ != nil {
+			c++
+		}
+	})
+	return c
+}
+
+// Branches returns the conditional-jump ops in the tree, root first.
+func (n *Node) Branches() []*ir.Op {
+	var cjs []*ir.Op
+	n.Walk(func(v *Vertex) {
+		if v.CJ != nil {
+			cjs = append(cjs, v.CJ)
+		}
+	})
+	return cjs
+}
+
+// Leaves returns the leaf vertices of the tree, left (true side) first.
+func (n *Node) Leaves() []*Vertex {
+	var ls []*Vertex
+	n.Walk(func(v *Vertex) {
+		if v.IsLeaf() {
+			ls = append(ls, v)
+		}
+	})
+	return ls
+}
+
+// Successors returns the distinct successor nodes, in leaf order.
+func (n *Node) Successors() []*Node {
+	var succs []*Node
+	seen := map[*Node]bool{}
+	for _, l := range n.Leaves() {
+		if l.Succ != nil && !seen[l.Succ] {
+			seen[l.Succ] = true
+			succs = append(succs, l.Succ)
+		}
+	}
+	return succs
+}
+
+// Empty reports whether the instruction holds no operations and no
+// branches (an empty node with a single fall-through edge can be spliced
+// out of the graph).
+func (n *Node) Empty() bool {
+	return n.OpCount() == 0 && n.BranchCount() == 0
+}
+
+// IterCount returns how many operations from iteration iter are scheduled
+// in this instruction (branches included); the Gapless-move test uses it.
+func (n *Node) IterCount(iter int) int {
+	c := 0
+	n.Walk(func(v *Vertex) {
+		for _, o := range v.Ops {
+			if o.Iter == iter && !o.Frozen {
+				c++
+			}
+		}
+		if v.CJ != nil && v.CJ.Iter == iter && !v.CJ.Frozen {
+			c++
+		}
+	})
+	return c
+}
+
+// SchedCount returns the number of schedulable (non-frozen) ops and
+// branches in the node.
+func (n *Node) SchedCount() int {
+	c := 0
+	n.Walk(func(v *Vertex) {
+		for _, o := range v.Ops {
+			if !o.Frozen {
+				c++
+			}
+		}
+		if v.CJ != nil && !v.CJ.Frozen {
+			c++
+		}
+	})
+	return c
+}
+
+// FallThrough returns the single successor when the node has exactly one
+// leaf, else nil.
+func (n *Node) FallThrough() *Node {
+	ls := n.Leaves()
+	if len(ls) == 1 {
+		return ls[0].Succ
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// String renders the whole graph in traversal order, one node per line.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.Order() {
+		b.WriteString(g.NodeString(n))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// NodeString renders a single node, e.g.
+//
+//	n3: [r1 = add r2, r3; r4 = load X[2]] cj r1 < r9 ? (-> n4) : ([drain] -> n9)
+func (g *Graph) NodeString(n *Node) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n%d:", n.ID)
+	if n.Drain {
+		b.WriteString(" (drain)")
+	}
+	b.WriteByte(' ')
+	b.WriteString(vertexString(n.Root))
+	return b.String()
+}
+
+func vertexString(v *Vertex) string {
+	var b strings.Builder
+	if len(v.Ops) > 0 {
+		parts := make([]string, len(v.Ops))
+		for i, op := range v.Ops {
+			parts[i] = op.String()
+		}
+		fmt.Fprintf(&b, "[%s] ", strings.Join(parts, "; "))
+	}
+	if v.IsLeaf() {
+		if v.Succ == nil {
+			b.WriteString("-> exit")
+		} else {
+			fmt.Fprintf(&b, "-> n%d", v.Succ.ID)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%s ? (%s) : (%s)", v.CJ, vertexString(v.True), vertexString(v.False))
+	return b.String()
+}
+
+// RowString renders the schedulable content of a node as a compact row of
+// origin/iteration tags, e.g. "a0 d0 f0 | cj0" — the format used when
+// printing pipelined schedules like the paper's Figures 5, 9 and 13.
+// name maps an origin index to a mnemonic.
+func (g *Graph) RowString(n *Node, name func(origin int) string) string {
+	var ops, cjs []string
+	n.Walk(func(v *Vertex) {
+		for _, o := range v.Ops {
+			if o.Frozen {
+				continue
+			}
+			ops = append(ops, fmt.Sprintf("%s%d", name(o.Origin), o.Iter))
+		}
+		if v.CJ != nil && !v.CJ.Frozen {
+			cjs = append(cjs, fmt.Sprintf("%s%d", name(v.CJ.Origin), v.CJ.Iter))
+		}
+	})
+	sort.Strings(ops)
+	out := strings.Join(ops, " ")
+	if len(cjs) > 0 {
+		if out != "" {
+			out += " | "
+		}
+		out += strings.Join(cjs, " ")
+	}
+	return out
+}

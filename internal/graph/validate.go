@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Validate checks every structural invariant of the graph: tree shape,
+// ownership pointers, operation locations, predecessor edge counts, and
+// the single-definition-per-path rule of VLIW instructions. It returns
+// the first violation found. Tests call Validate after every
+// transformation.
+func (g *Graph) Validate() error {
+	if g.Entry == nil {
+		return fmt.Errorf("graph: nil entry")
+	}
+	if !g.nodes[g.Entry] {
+		return fmt.Errorf("graph: entry n%d not registered", g.Entry.ID)
+	}
+
+	recount := map[*Node]map[*Node]int{}
+	seenOps := map[*ir.Op]*Vertex{}
+
+	for n := range g.nodes {
+		if n.Root == nil {
+			return fmt.Errorf("n%d: nil root", n.ID)
+		}
+		if n.Root.parent != nil {
+			return fmt.Errorf("n%d: root has parent", n.ID)
+		}
+		var err error
+		var walk func(v *Vertex)
+		walk = func(v *Vertex) {
+			if err != nil {
+				return
+			}
+			if v.node != n {
+				err = fmt.Errorf("n%d: vertex owned by wrong node", n.ID)
+				return
+			}
+			for _, op := range v.Ops {
+				if op == nil {
+					err = fmt.Errorf("n%d: nil op", n.ID)
+					return
+				}
+				if op.IsBranch() {
+					err = fmt.Errorf("n%d: branch op %v in op list", n.ID, op)
+					return
+				}
+				if prev, dup := seenOps[op]; dup {
+					err = fmt.Errorf("n%d: op %v placed twice (also n%d)", n.ID, op, prev.node.ID)
+					return
+				}
+				seenOps[op] = v
+				if g.locs[op] != v {
+					err = fmt.Errorf("n%d: op %v location out of sync", n.ID, op)
+					return
+				}
+			}
+			if v.IsLeaf() {
+				if v.True != nil || v.False != nil {
+					err = fmt.Errorf("n%d: leaf with children", n.ID)
+					return
+				}
+				if v.Succ != nil {
+					if !g.nodes[v.Succ] {
+						err = fmt.Errorf("n%d: edge to deleted node n%d", n.ID, v.Succ.ID)
+						return
+					}
+					m := recount[v.Succ]
+					if m == nil {
+						m = map[*Node]int{}
+						recount[v.Succ] = m
+					}
+					m[n]++
+				}
+				return
+			}
+			if !v.CJ.IsBranch() {
+				err = fmt.Errorf("n%d: non-branch op %v in CJ slot", n.ID, v.CJ)
+				return
+			}
+			if prev, dup := seenOps[v.CJ]; dup {
+				err = fmt.Errorf("n%d: branch %v placed twice (also n%d)", n.ID, v.CJ, prev.node.ID)
+				return
+			}
+			seenOps[v.CJ] = v
+			if g.locs[v.CJ] != v {
+				err = fmt.Errorf("n%d: branch %v location out of sync", n.ID, v.CJ)
+				return
+			}
+			if v.True == nil || v.False == nil {
+				err = fmt.Errorf("n%d: branch vertex missing children", n.ID)
+				return
+			}
+			if v.True.parent != v || v.False.parent != v {
+				err = fmt.Errorf("n%d: child parent pointer wrong", n.ID)
+				return
+			}
+			walk(v.True)
+			walk(v.False)
+		}
+		walk(n.Root)
+		if err != nil {
+			return err
+		}
+		if err := checkSingleDefPerPath(n); err != nil {
+			return err
+		}
+	}
+
+	// Every registered location must be placed in a live node.
+	for op, v := range g.locs {
+		if seenOps[op] != v {
+			return fmt.Errorf("loc for op %v points at stale vertex", op)
+		}
+	}
+
+	// Predecessor edge counts must match a full recount.
+	for n := range g.nodes {
+		want := recount[n]
+		got := g.preds[n]
+		for p, c := range want {
+			if got[p] != c {
+				return fmt.Errorf("n%d: pred count for n%d = %d, want %d", n.ID, p.ID, got[p], c)
+			}
+		}
+		for p, c := range got {
+			if c != 0 && want[p] != c {
+				return fmt.Errorf("n%d: stale pred count for n%d = %d, want %d", n.ID, p.ID, c, want[p])
+			}
+		}
+	}
+	return nil
+}
+
+// checkSingleDefPerPath enforces that no root-to-leaf path of the
+// instruction tree commits two writes to the same register: IBM VLIW
+// stores all results along the selected path at once, so a double write
+// would be ambiguous hardware-wise.
+func checkSingleDefPerPath(n *Node) error {
+	var defs []ir.Reg
+	var walk func(v *Vertex) error
+	walk = func(v *Vertex) error {
+		mark := len(defs)
+		for _, op := range v.Ops {
+			if d := op.Def(); d != ir.NoReg {
+				for _, prev := range defs {
+					if prev == d {
+						return fmt.Errorf("n%d: register r%d defined twice on one path", n.ID, d)
+					}
+				}
+				defs = append(defs, d)
+			}
+		}
+		if !v.IsLeaf() {
+			if err := walk(v.True); err != nil {
+				return err
+			}
+			if err := walk(v.False); err != nil {
+				return err
+			}
+		}
+		defs = defs[:mark]
+		return nil
+	}
+	return walk(n.Root)
+}

@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"bytes"
+)
+
+func TestFigure56(t *testing.T) {
+	var b bytes.Buffer
+	if err := Figure56(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 5", "Figure 6", "converged=true", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure9DivergesAnd13Converges(t *testing.T) {
+	var b bytes.Buffer
+	r9, err := Figure9(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r9.Converged {
+		t.Error("Figure 9 run converged; gaps should prevent it")
+	}
+	r13, err := Figure13(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r13.Converged {
+		t.Error("Figure 13 run did not converge")
+	}
+	if r13.Kernel.CyclesPerIter() > 1.01 {
+		t.Errorf("Figure 13 kernel rate %.2f, want 1", r13.Kernel.CyclesPerIter())
+	}
+}
+
+func TestFigure8And11Traces(t *testing.T) {
+	var b bytes.Buffer
+	if err := Figure8And11(&b, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"unifiable=(", "moveable=(", "final schedule"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestIntroExampleBeatsModulo(t *testing.T) {
+	var b bytes.Buffer
+	g, mod, err := IntroExample(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g <= mod {
+		t.Errorf("GRiP %.2f should beat modulo %.2f on the intro example", g, mod)
+	}
+}
+
+func TestFigure123Renders(t *testing.T) {
+	var b bytes.Buffer
+	if err := Figure123(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "drain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}

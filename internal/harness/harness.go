@@ -1,0 +1,161 @@
+// Package harness runs the paper's experiments: Table 1 (GRiP vs POST
+// over the Livermore loops at 2/4/8 functional units, with mean and
+// weighted-harmonic-mean summary rows) plus per-cell semantic validation
+// and analytic-bound cross-checks.
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/deps"
+	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/post"
+)
+
+// Cell is one Table 1 cell pair.
+type Cell struct {
+	Grip, Post         float64
+	GripConv, PostConv bool
+	// Bound is the analytic speedup limit for this loop and FU count:
+	// seq ops / max(RecMII, ResMII) on the unoptimized body. Redundant
+	// operation removal can push measured speedups above it.
+	Bound float64
+	// Barriers counts GRiP resource-barrier events.
+	Barriers int
+}
+
+// Table holds the full Table 1 reproduction.
+type Table struct {
+	FUs     []int
+	Names   []string
+	SeqOps  []int
+	Cells   [][]Cell // [loop][fu]
+	MeanRow []Cell
+	WHMRow  []Cell
+}
+
+// RunCell measures one loop at one FU count with both techniques.
+func RunCell(k *livermore.Kernel, fus int) (Cell, error) {
+	m := machine.New(fus)
+	cfg := pipeline.DefaultConfig(m)
+	g, err := pipeline.PerfectPipeline(k.Spec, cfg)
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s @%dFU grip: %w", k.Name, fus, err)
+	}
+	p, err := post.Pipeline(k.Spec, cfg)
+	if err != nil {
+		return Cell{}, fmt.Errorf("%s @%dFU post: %w", k.Name, fus, err)
+	}
+	info := deps.Analyze(k.Spec)
+	bound := float64(k.Spec.SeqOpsPerIter()) / info.RateBound(k.Spec.SeqOpsPerIter()-1, fus)
+	return Cell{
+		Grip: g.Speedup, Post: p.Speedup,
+		GripConv: g.Converged, PostConv: p.Converged,
+		Bound:    bound,
+		Barriers: g.Stats.ResourceBarriers,
+	}, nil
+}
+
+// ValidateCell re-runs the GRiP pipeline for a cell and proves the
+// scheduled code semantically equivalent to the original loop on the
+// kernel's workload, for full and early-exit trip counts.
+func ValidateCell(k *livermore.Kernel, fus int) error {
+	cfg := pipeline.DefaultConfig(machine.New(fus))
+	res, err := pipeline.PerfectPipeline(k.Spec, cfg)
+	if err != nil {
+		return err
+	}
+	u := int64(res.U)
+	trips := []int64{k.Spec.Start + 1, k.Spec.Start + u/3, k.Spec.Start + u}
+	return pipeline.ValidateSemantics(res, k.Vars, k.Arrays(res.U+16), trips)
+}
+
+// RunTable1 reproduces Table 1 for the given kernels and FU counts.
+func RunTable1(kernels []*livermore.Kernel, fus []int) (*Table, error) {
+	t := &Table{FUs: fus}
+	for _, k := range kernels {
+		t.Names = append(t.Names, k.Name)
+		t.SeqOps = append(t.SeqOps, k.Spec.SeqOpsPerIter())
+		row := make([]Cell, len(fus))
+		for fi, f := range fus {
+			c, err := RunCell(k, f)
+			if err != nil {
+				return nil, err
+			}
+			row[fi] = c
+		}
+		t.Cells = append(t.Cells, row)
+	}
+	t.MeanRow = make([]Cell, len(fus))
+	t.WHMRow = make([]Cell, len(fus))
+	for fi := range fus {
+		var sumG, sumP float64
+		var whgNum, whgDen, whpDen float64
+		for li := range t.Cells {
+			c := t.Cells[li][fi]
+			w := float64(t.SeqOps[li])
+			sumG += c.Grip
+			sumP += c.Post
+			whgNum += w
+			whgDen += w / c.Grip
+			whpDen += w / c.Post
+		}
+		n := float64(len(t.Cells))
+		t.MeanRow[fi] = Cell{Grip: sumG / n, Post: sumP / n}
+		t.WHMRow[fi] = Cell{Grip: whgNum / whgDen, Post: whgNum / whpDen}
+	}
+	return t, nil
+}
+
+// Format renders the table in the paper's layout.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "Loop")
+	for _, f := range t.FUs {
+		fmt.Fprintf(&b, " | %6d FU's%-3s", f, "")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-6s", "")
+	for range t.FUs {
+		fmt.Fprintf(&b, " | %7s %7s", "GRiP", "POST")
+	}
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", 6+len(t.FUs)*19) + "\n")
+	for li, name := range t.Names {
+		fmt.Fprintf(&b, "%-6s", name)
+		for fi := range t.FUs {
+			c := t.Cells[li][fi]
+			fmt.Fprintf(&b, " | %7.1f %7.1f", c.Grip, c.Post)
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(strings.Repeat("-", 6+len(t.FUs)*19) + "\n")
+	fmt.Fprintf(&b, "%-6s", "Mean")
+	for fi := range t.FUs {
+		fmt.Fprintf(&b, " | %7.1f %7.1f", t.MeanRow[fi].Grip, t.MeanRow[fi].Post)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "%-6s", "WHM")
+	for fi := range t.FUs {
+		fmt.Fprintf(&b, " | %7.1f %7.1f", t.WHMRow[fi].Grip, t.WHMRow[fi].Post)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// CSV renders the table for machine consumption.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("loop,fus,grip,post,bound,grip_converged,post_converged,grip_barriers\n")
+	for li, name := range t.Names {
+		for fi, f := range t.FUs {
+			c := t.Cells[li][fi]
+			fmt.Fprintf(&b, "%s,%d,%.3f,%.3f,%.3f,%v,%v,%d\n",
+				name, f, c.Grip, c.Post, c.Bound, c.GripConv, c.PostConv, c.Barriers)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,157 @@
+// Package ir defines the intermediate representation consumed by the
+// schedulers: virtual registers, memory references, operations, and loop
+// body specifications.
+//
+// The representation mirrors the "conventional operations" of the paper's
+// VLIW computation model (Nicolau & Novack 1992, section 2): three-address
+// arithmetic, loads and stores, copies, and multi-way conditional jumps.
+// All operations complete in a single cycle, as the paper assumes.
+package ir
+
+import "fmt"
+
+// Reg names a virtual register. Register 0 is "no register". The register
+// file is unbounded: the paper assumes a free register is always available
+// for renaming, and our unwinder produces SSA-style per-iteration names.
+type Reg int32
+
+// NoReg is the absent register.
+const NoReg Reg = 0
+
+// Array names a memory array. Array 0 is "no array". Arrays are disjoint:
+// references to different arrays never alias, exactly like distinct
+// Fortran COMMON arrays in the Livermore kernels.
+type Array int32
+
+// NoArray is the absent array.
+const NoArray Array = 0
+
+// Opcode enumerates operation kinds.
+type Opcode uint8
+
+// Operation kinds. CJ is the conditional jump that forms the internal
+// vertices of IBM VLIW instruction trees.
+const (
+	Nop Opcode = iota
+	Const
+	Copy
+	Add
+	Sub
+	Mul
+	Div
+	Load
+	Store
+	CJ
+)
+
+var opcodeNames = [...]string{
+	Nop:   "nop",
+	Const: "const",
+	Copy:  "copy",
+	Add:   "add",
+	Sub:   "sub",
+	Mul:   "mul",
+	Div:   "div",
+	Load:  "load",
+	Store: "store",
+	CJ:    "cj",
+}
+
+// String returns the mnemonic for the opcode.
+func (k Opcode) String() string {
+	if int(k) < len(opcodeNames) {
+		return opcodeNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// Relation is the comparison used by a conditional jump.
+type Relation uint8
+
+// Comparison relations for CJ operations.
+const (
+	Lt Relation = iota
+	Le
+	Eq
+	Ne
+	Gt
+	Ge
+)
+
+var relNames = [...]string{Lt: "<", Le: "<=", Eq: "==", Ne: "!=", Gt: ">", Ge: ">="}
+
+// String returns the comparison symbol.
+func (r Relation) String() string {
+	if int(r) < len(relNames) {
+		return relNames[r]
+	}
+	return fmt.Sprintf("rel(%d)", uint8(r))
+}
+
+// Eval reports whether the relation holds between a and b.
+func (r Relation) Eval(a, b int64) bool {
+	switch r {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Gt:
+		return a > b
+	case Ge:
+		return a >= b
+	}
+	return false
+}
+
+// MemRef is a memory address used by a Load or Store.
+//
+// If IndexReg is NoReg the address is the concrete element Array[Index];
+// this is the form the unwinder produces for affine references once the
+// iteration number is known. If IndexReg is set, the address is
+// Array[value(IndexReg)+Index] and is only known at run time (the
+// particle-in-cell kernels LL13/LL14 use such indirect references).
+type MemRef struct {
+	Array    Array
+	Index    int64
+	IndexReg Reg
+}
+
+// IsZero reports whether the reference is absent.
+func (m MemRef) IsZero() bool { return m.Array == NoArray }
+
+// Indirect reports whether the address depends on a register value.
+func (m MemRef) Indirect() bool { return m.IndexReg != NoReg }
+
+// MayAlias reports whether two references can address the same memory
+// cell. Distinct arrays never alias. Two direct references alias exactly
+// when their indices are equal. Any reference involving an indirect index
+// conservatively aliases every reference to the same array; this is the
+// standard conservative treatment for subscripts a compiler cannot
+// analyze, and it is what serializes the particle-in-cell kernels.
+func (m MemRef) MayAlias(o MemRef) bool {
+	if m.Array == NoArray || o.Array == NoArray || m.Array != o.Array {
+		return false
+	}
+	if m.Indirect() || o.Indirect() {
+		return true
+	}
+	return m.Index == o.Index
+}
+
+// String formats the reference.
+func (m MemRef) String() string {
+	if m.IsZero() {
+		return "-"
+	}
+	if m.Indirect() {
+		if m.Index != 0 {
+			return fmt.Sprintf("A%d[r%d%+d]", m.Array, m.IndexReg, m.Index)
+		}
+		return fmt.Sprintf("A%d[r%d]", m.Array, m.IndexReg)
+	}
+	return fmt.Sprintf("A%d[%d]", m.Array, m.Index)
+}

@@ -1,0 +1,257 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BodyRef is a memory address used by a loop-body operation before
+// unwinding: the affine element Array[KCoef*k + Off] of the loop counter
+// k, or — when IndexVar is set — the indirect element
+// Array[value(IndexVar) + Off].
+type BodyRef struct {
+	Array    string
+	KCoef    int64
+	Off      int64
+	IndexVar string
+}
+
+// Aff builds an affine reference Array[KCoef*k+Off].
+func Aff(array string, kcoef, off int64) BodyRef {
+	return BodyRef{Array: array, KCoef: kcoef, Off: off}
+}
+
+// Ind builds an indirect reference Array[value(indexVar)+off].
+func Ind(array, indexVar string, off int64) BodyRef {
+	return BodyRef{Array: array, IndexVar: indexVar, Off: off}
+}
+
+// BodyOp is one operation of a loop body, written over named variables.
+// The unwinder renames variables to fresh registers per iteration
+// (SSA-style), which removes all register anti- and output dependencies
+// across iterations exactly as the paper's renaming would.
+type BodyOp struct {
+	Kind   Opcode
+	Dst    string
+	A, B   string
+	Imm    int64
+	UseImm bool
+	Mem    BodyRef
+}
+
+// Constructors for the common body-op shapes. They keep the kernel
+// definitions in internal/livermore close to the Fortran source.
+
+// BAdd returns dst = a + b.
+func BAdd(dst, a, b string) BodyOp { return BodyOp{Kind: Add, Dst: dst, A: a, B: b} }
+
+// BSub returns dst = a - b.
+func BSub(dst, a, b string) BodyOp { return BodyOp{Kind: Sub, Dst: dst, A: a, B: b} }
+
+// BMul returns dst = a * b.
+func BMul(dst, a, b string) BodyOp { return BodyOp{Kind: Mul, Dst: dst, A: a, B: b} }
+
+// BDiv returns dst = a / b (0 when b is 0).
+func BDiv(dst, a, b string) BodyOp { return BodyOp{Kind: Div, Dst: dst, A: a, B: b} }
+
+// BAddI returns dst = a + imm.
+func BAddI(dst, a string, imm int64) BodyOp {
+	return BodyOp{Kind: Add, Dst: dst, A: a, Imm: imm, UseImm: true}
+}
+
+// BMulI returns dst = a * imm.
+func BMulI(dst, a string, imm int64) BodyOp {
+	return BodyOp{Kind: Mul, Dst: dst, A: a, Imm: imm, UseImm: true}
+}
+
+// BCopy returns dst = a.
+func BCopy(dst, a string) BodyOp { return BodyOp{Kind: Copy, Dst: dst, A: a} }
+
+// BLoad returns dst = load mem.
+func BLoad(dst string, mem BodyRef) BodyOp { return BodyOp{Kind: Load, Dst: dst, Mem: mem} }
+
+// BStore returns store mem = a.
+func BStore(mem BodyRef, a string) BodyOp { return BodyOp{Kind: Store, A: a, Mem: mem} }
+
+// LoopSpec describes an innermost loop before unwinding: the body in
+// original sequential order (one operation per VLIW instruction, matching
+// the paper's "sequential VLIW program graph wherein each node contains a
+// single intermediate language statement"), the counter, and the
+// live-in/live-out interface.
+//
+// The unwinder appends the loop control to each iteration: the counter
+// increment k = k + Step and the conditional jump that continues while
+// k < value(TripVar). These two control operations count toward the
+// sequential cost exactly like body operations.
+type LoopSpec struct {
+	Name string
+	Body []BodyOp
+
+	// Counter: k starts at Start and advances by Step each iteration.
+	Start int64
+	Step  int64
+
+	// TripVar names the live-in variable holding the loop bound.
+	TripVar string
+
+	// LiveIn lists variables (loop-invariant scalars and initial values
+	// of carried accumulators) that must be defined before the loop.
+	// TripVar is implicitly live-in.
+	LiveIn []string
+
+	// LiveOut lists scalar variables whose final value is observable
+	// after the loop (accumulators such as the inner product q of LL3).
+	// Values stored to memory are always observable.
+	LiveOut []string
+}
+
+// CounterVar is the reserved name of the loop counter.
+const CounterVar = "k"
+
+// SeqOpsPerIter returns the sequential cost of one iteration: body
+// operations plus the two loop-control operations.
+func (s *LoopSpec) SeqOpsPerIter() int { return len(s.Body) + 2 }
+
+// Validate checks the spec for authoring mistakes: uses of variables that
+// are neither live-in, the counter, nor defined earlier in the body, and
+// redefinition of live-in coefficients that are also read later (which
+// would make the carried-value semantics ambiguous).
+func (s *LoopSpec) Validate() error {
+	if len(s.Body) == 0 {
+		return fmt.Errorf("loop %s: empty body", s.Name)
+	}
+	if s.Step == 0 {
+		return fmt.Errorf("loop %s: zero step", s.Name)
+	}
+	if s.TripVar == "" {
+		return fmt.Errorf("loop %s: missing TripVar", s.Name)
+	}
+	defined := map[string]bool{CounterVar: true, s.TripVar: true}
+	for _, v := range s.LiveIn {
+		defined[v] = true
+	}
+	use := func(i int, v string) error {
+		if v == "" {
+			return nil
+		}
+		if !defined[v] {
+			return fmt.Errorf("loop %s: body op %d uses undefined variable %q", s.Name, i, v)
+		}
+		return nil
+	}
+	for i, op := range s.Body {
+		if err := use(i, op.A); err != nil {
+			return err
+		}
+		if !op.UseImm {
+			if err := use(i, op.B); err != nil {
+				return err
+			}
+		}
+		if op.Mem.IndexVar != "" {
+			if err := use(i, op.Mem.IndexVar); err != nil {
+				return err
+			}
+		}
+		if op.Dst != "" {
+			if op.Dst == CounterVar {
+				return fmt.Errorf("loop %s: body op %d writes the loop counter", s.Name, i)
+			}
+			defined[op.Dst] = true
+		}
+	}
+	for _, v := range s.LiveOut {
+		if !defined[v] {
+			return fmt.Errorf("loop %s: live-out %q never defined", s.Name, v)
+		}
+	}
+	return nil
+}
+
+// CarriedVars returns the variables whose value flows from one iteration
+// to the next: every variable that is read in the body (or live-out)
+// before being redefined in the same iteration, excluding pure
+// loop-invariants. The counter is always carried.
+func (s *LoopSpec) CarriedVars() []string {
+	redef := map[string]bool{}
+	for _, op := range s.Body {
+		if op.Dst != "" {
+			redef[op.Dst] = true
+		}
+	}
+	seen := map[string]bool{}
+	var carried []string
+	add := func(v string) {
+		if v != "" && redef[v] && !seen[v] {
+			seen[v] = true
+			carried = append(carried, v)
+		}
+	}
+	// A variable is carried if some use can observe the previous
+	// iteration's definition: it is read before its (re)definition in
+	// the body, or it is live-out.
+	defd := map[string]bool{}
+	for _, op := range s.Body {
+		if op.A != "" && !defd[op.A] {
+			add(op.A)
+		}
+		if !op.UseImm && op.B != "" && !defd[op.B] {
+			add(op.B)
+		}
+		if op.Mem.IndexVar != "" && !defd[op.Mem.IndexVar] {
+			add(op.Mem.IndexVar)
+		}
+		if op.Dst != "" {
+			defd[op.Dst] = true
+		}
+	}
+	for _, v := range s.LiveOut {
+		add(v)
+	}
+	return carried
+}
+
+// String renders the spec for debugging.
+func (s *LoopSpec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop %s (k=%d step %d while k<%s):\n", s.Name, s.Start, s.Step, s.TripVar)
+	for i, op := range s.Body {
+		fmt.Fprintf(&b, "  %2d: %s\n", i, bodyOpString(op))
+	}
+	return b.String()
+}
+
+func bodyOpString(op BodyOp) string {
+	memStr := func(m BodyRef) string {
+		switch {
+		case m.IndexVar != "":
+			if m.Off != 0 {
+				return fmt.Sprintf("%s[%s%+d]", m.Array, m.IndexVar, m.Off)
+			}
+			return fmt.Sprintf("%s[%s]", m.Array, m.IndexVar)
+		case m.KCoef == 0:
+			return fmt.Sprintf("%s[%d]", m.Array, m.Off)
+		case m.KCoef == 1 && m.Off == 0:
+			return fmt.Sprintf("%s[k]", m.Array)
+		case m.KCoef == 1:
+			return fmt.Sprintf("%s[k%+d]", m.Array, m.Off)
+		default:
+			return fmt.Sprintf("%s[%d*k%+d]", m.Array, m.KCoef, m.Off)
+		}
+	}
+	switch op.Kind {
+	case Load:
+		return fmt.Sprintf("%s = load %s", op.Dst, memStr(op.Mem))
+	case Store:
+		return fmt.Sprintf("store %s = %s", memStr(op.Mem), op.A)
+	case Copy:
+		return fmt.Sprintf("%s = %s", op.Dst, op.A)
+	case Const:
+		return fmt.Sprintf("%s = %d", op.Dst, op.Imm)
+	default:
+		if op.UseImm {
+			return fmt.Sprintf("%s = %s %s, %d", op.Dst, op.Kind, op.A, op.Imm)
+		}
+		return fmt.Sprintf("%s = %s %s, %s", op.Dst, op.Kind, op.A, op.B)
+	}
+}

@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleLoop is an LL3-style inner product: q = q + z[k]*x[k].
+func sampleLoop() *LoopSpec {
+	return &LoopSpec{
+		Name: "dot",
+		Body: []BodyOp{
+			BLoad("t1", Aff("Z", 1, 0)),
+			BLoad("t2", Aff("X", 1, 0)),
+			BMul("t3", "t1", "t2"),
+			BAdd("q", "q", "t3"),
+		},
+		Start:   0,
+		Step:    1,
+		TripVar: "n",
+		LiveIn:  []string{"q"},
+		LiveOut: []string{"q"},
+	}
+}
+
+func TestLoopSpecValidateOK(t *testing.T) {
+	if err := sampleLoop().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestLoopSpecValidateCatchesUndefined(t *testing.T) {
+	s := sampleLoop()
+	s.Body = append(s.Body, BAdd("w", "nope", "q"))
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("Validate should flag undefined var, got %v", err)
+	}
+}
+
+func TestLoopSpecValidateCatchesCounterWrite(t *testing.T) {
+	s := sampleLoop()
+	s.Body = append(s.Body, BAddI(CounterVar, "q", 1))
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate should forbid writing the counter")
+	}
+}
+
+func TestLoopSpecValidateCatchesBadLiveOut(t *testing.T) {
+	s := sampleLoop()
+	s.LiveOut = append(s.LiveOut, "ghost")
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate should flag undefined live-out")
+	}
+}
+
+func TestLoopSpecValidateEmptyBody(t *testing.T) {
+	s := &LoopSpec{Name: "e", TripVar: "n", Step: 1}
+	if err := s.Validate(); err == nil {
+		t.Fatal("Validate should flag empty body")
+	}
+}
+
+func TestCarriedVars(t *testing.T) {
+	s := sampleLoop()
+	carried := s.CarriedVars()
+	if len(carried) != 1 || carried[0] != "q" {
+		t.Fatalf("CarriedVars = %v, want [q]", carried)
+	}
+
+	// A purely vectorizable body carries nothing.
+	v := &LoopSpec{
+		Name: "vec",
+		Body: []BodyOp{
+			BLoad("t1", Aff("Y", 1, 0)),
+			BMul("t2", "t1", "r"),
+			BStore(Aff("X", 1, 0), "t2"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"r"},
+	}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c := v.CarriedVars(); len(c) != 0 {
+		t.Fatalf("CarriedVars = %v, want none", c)
+	}
+}
+
+func TestCarriedVarsLiveOutOnly(t *testing.T) {
+	// t is redefined every iteration and never read before definition,
+	// but being live-out makes its final value observable; it is not
+	// carried (each iteration's value is independent). Only variables
+	// read before redefinition are carried.
+	s := &LoopSpec{
+		Name: "lo",
+		Body: []BodyOp{
+			BLoad("t", Aff("Y", 1, 0)),
+			BStore(Aff("X", 1, 0), "t"),
+		},
+		Step: 1, TripVar: "n", LiveOut: []string{"t"},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c := s.CarriedVars()
+	if len(c) != 1 || c[0] != "t" {
+		// Live-out values must be carried so the epilogue can name them.
+		t.Fatalf("CarriedVars = %v, want [t]", c)
+	}
+}
+
+func TestSeqOpsPerIter(t *testing.T) {
+	if got := sampleLoop().SeqOpsPerIter(); got != 6 {
+		t.Fatalf("SeqOpsPerIter = %d, want 6 (4 body + increment + branch)", got)
+	}
+}
+
+func TestLoopSpecString(t *testing.T) {
+	s := sampleLoop().String()
+	for _, want := range []string{"dot", "load Z[k]", "mul", "q = add q, t3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}

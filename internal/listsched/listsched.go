@@ -1,0 +1,81 @@
+// Package listsched implements plain greedy list scheduling of a single
+// loop iteration: compaction without any iteration overlap. It is the
+// weakest baseline — what a basic VLIW compactor achieves before any
+// software pipelining — and calibrates how much of GRiP's win comes from
+// pipelining rather than from packing alone.
+package listsched
+
+import (
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Result reports a list schedule of one iteration.
+type Result struct {
+	// Cycles is the schedule length of one iteration (the loop-back
+	// jump issues in the last cycle).
+	Cycles int
+	// Times holds each extended-body op's cycle.
+	Times []int
+	// Speedup is sequential ops per iteration divided by Cycles.
+	Speedup float64
+}
+
+// Schedule packs one iteration of spec onto m: each op issues at the
+// earliest cycle where its intra-iteration predecessors are done and a
+// unit is free. Loop-carried edges are irrelevant because iterations do
+// not overlap.
+func Schedule(spec *ir.LoopSpec, m machine.Machine) *Result {
+	info := deps.Analyze(spec)
+	ext := deps.ExtendedBody(spec)
+	n := len(ext)
+	times := make([]int, n)
+	est := make([]int, n)
+	var fuUse, brUse []int
+	use := func(s []int, c int) []int {
+		for len(s) <= c {
+			s = append(s, 0)
+		}
+		s[c]++
+		return s
+	}
+	free := func(s []int, c int, fits func(int) bool) bool {
+		if len(s) <= c {
+			return fits(1)
+		}
+		return fits(s[c] + 1)
+	}
+	length := 0
+	for i := 0; i < n; i++ {
+		t := est[i]
+		for {
+			if ext[i].Kind == ir.CJ {
+				if free(brUse, t, m.FitsBranches) {
+					brUse = use(brUse, t)
+					break
+				}
+			} else if free(fuUse, t, m.FitsOps) {
+				fuUse = use(fuUse, t)
+				break
+			}
+			t++
+		}
+		times[i] = t
+		if t+1 > length {
+			length = t + 1
+		}
+		for _, e := range info.Edges {
+			if e.From == i && e.Dist == 0 && e.To > i {
+				if times[i]+1 > est[e.To] {
+					est[e.To] = times[i] + 1
+				}
+			}
+		}
+	}
+	return &Result{
+		Cycles:  length,
+		Times:   times,
+		Speedup: float64(spec.SeqOpsPerIter()) / float64(length),
+	}
+}

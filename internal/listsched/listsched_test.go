@@ -1,0 +1,61 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+)
+
+func TestListScheduleLength(t *testing.T) {
+	// LL9 is wide and shallow: 19 body ops + increment on 4 units with
+	// critical path ~13 must finish no earlier than both bounds.
+	spec := livermore.ByName("LL9").Spec
+	res := Schedule(spec, machine.New(4))
+	info := deps.Analyze(spec)
+	lower := info.CritPath
+	if r := deps.ModuloResMII(spec.SeqOpsPerIter()-1, 4); r > lower {
+		lower = r
+	}
+	if res.Cycles < lower {
+		t.Fatalf("cycles %d below lower bound %d", res.Cycles, lower)
+	}
+	if res.Speedup <= 1 {
+		t.Fatalf("speedup %.2f", res.Speedup)
+	}
+}
+
+func TestListRespectsDeps(t *testing.T) {
+	for _, k := range livermore.All() {
+		res := Schedule(k.Spec, machine.New(2))
+		info := deps.Analyze(k.Spec)
+		for _, e := range info.Edges {
+			if e.Dist != 0 || e.To < e.From {
+				continue
+			}
+			if res.Times[e.To] <= res.Times[e.From] {
+				t.Errorf("%s: intra-iteration edge %d->%d violated", k.Name, e.From, e.To)
+			}
+		}
+	}
+}
+
+func TestListNeverBeatsModulo(t *testing.T) {
+	// Pipelining only helps: modulo's II never exceeds one compacted
+	// iteration.
+	for _, k := range livermore.All() {
+		m := machine.New(4)
+		ls := Schedule(k.Spec, m)
+		mod, err := modulo.Schedule(k.Spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if mod.II > ls.Cycles {
+			t.Errorf("%s: II %d > list schedule %d", k.Name, mod.II, ls.Cycles)
+		}
+	}
+	_ = ir.NoReg
+}

@@ -1,0 +1,637 @@
+// Package livermore defines the fourteen Livermore Loops the paper
+// evaluates (Table 1), hand-translated to the scheduler IR the way a
+// scalar compiler would emit them: loop-invariant coefficients live in
+// registers, one three-address operation per statement, affine array
+// subscripts folded into the memory reference (address arithmetic is
+// free, as on a VLIW with addressed memory ports), and the two loop
+// control operations appended by the unwinder.
+//
+// Each kernel carries a native Go reference implementation of exactly
+// the kernel formula; the tests execute the unwound IR in the simulator
+// and require bit-identical memory against the native run, which
+// validates the hand translation end to end.
+//
+// Arithmetic is int64 (the simulator's value domain). The kernels'
+// dependence structure — what determines schedules and speedups — is
+// type-independent; see DESIGN.md section 3.
+//
+// Where the original Fortran kernel is an excerpt of a larger nest
+// (LL2, LL6, LL8, LL13, LL14), we implement a documented simplification
+// that preserves the property the paper's evaluation exercises:
+// vectorizable (LL2, LL8), first-order recurrence (LL6), or
+// indirect-subscript serialization (LL13, LL14).
+package livermore
+
+import (
+	"repro/internal/ir"
+)
+
+// Kernel bundles a loop spec with workload construction and a native
+// reference implementation.
+type Kernel struct {
+	Name string
+	// Note documents any simplification against the original Fortran.
+	Note string
+	Spec *ir.LoopSpec
+	// Vars returns the live-in scalar bindings (trip variable excluded;
+	// the harness sets it).
+	Vars map[string]int64
+	// Arrays builds the input arrays, sized for n iterations.
+	Arrays func(n int) map[string][]int64
+	// Native runs the kernel formula for n iterations over the same
+	// arrays/vars, returning the expected final arrays and live-out
+	// scalars.
+	Native func(n int, vars map[string]int64, arrays map[string][]int64) (map[string][]int64, map[string]int64)
+}
+
+// seq fills a deterministic pseudo-random array: values are small and
+// non-zero so integer multiplication chains stay within int64.
+func seq(seed int64, n int) []int64 {
+	v := make([]int64, n)
+	x := seed
+	for i := range v {
+		x = (x*1103515245 + 12345) % 2147483648
+		v[i] = x%7 + 1
+	}
+	return v
+}
+
+func cloneArrays(in map[string][]int64) map[string][]int64 {
+	out := make(map[string][]int64, len(in))
+	for k, v := range in {
+		c := make([]int64, len(v))
+		copy(c, v)
+		out[k] = c
+	}
+	return out
+}
+
+// All returns the fourteen kernels in order.
+func All() []*Kernel {
+	return []*Kernel{
+		LL1(), LL2(), LL3(), LL4(), LL5(), LL6(), LL7(),
+		LL8(), LL9(), LL10(), LL11(), LL12(), LL13(), LL14(),
+	}
+}
+
+// ByName returns the kernel with the given name (e.g. "LL3"), or nil.
+func ByName(name string) *Kernel {
+	for _, k := range All() {
+		if k.Name == name {
+			return k
+		}
+	}
+	return nil
+}
+
+// LL1 — hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func LL1() *Kernel {
+	return &Kernel{
+		Name: "LL1",
+		Spec: &ir.LoopSpec{
+			Name: "LL1-hydro",
+			Body: []ir.BodyOp{
+				ir.BLoad("z10", ir.Aff("Z", 1, 10)),
+				ir.BLoad("z11", ir.Aff("Z", 1, 11)),
+				ir.BMul("a", "r", "z10"),
+				ir.BMul("b", "t", "z11"),
+				ir.BAdd("c", "a", "b"),
+				ir.BLoad("y", ir.Aff("Y", 1, 0)),
+				ir.BMul("d", "y", "c"),
+				ir.BAdd("e", "q", "d"),
+				ir.BStore(ir.Aff("X", 1, 0), "e"),
+			},
+			Step: 1, TripVar: "n", LiveIn: []string{"q", "r", "t"},
+		},
+		Vars: map[string]int64{"q": 5, "r": 3, "t": 2},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"X": make([]int64, n),
+				"Y": seq(11, n),
+				"Z": seq(13, n+12),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				a["X"][k] = v["q"] + a["Y"][k]*(v["r"]*a["Z"][k+10]+v["t"]*a["Z"][k+11])
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL2 — ICCG excerpt, simplified to its vectorizable gather step:
+// xnew[k] = x[2k] - v[k]*x[2k+1].
+func LL2() *Kernel {
+	return &Kernel{
+		Name: "LL2",
+		Note: "ICCG inner statement on a fixed level: xnew[k] = x[2k] - v[k]*x[2k+1]",
+		Spec: &ir.LoopSpec{
+			Name: "LL2-iccg",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("X", 2, 0)),
+				ir.BLoad("b", ir.Aff("X", 2, 1)),
+				ir.BLoad("c", ir.Aff("V", 1, 0)),
+				ir.BMul("d", "c", "b"),
+				ir.BSub("e", "a", "d"),
+				ir.BStore(ir.Aff("XNEW", 1, 0), "e"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"X": seq(17, 2*n+2), "V": seq(19, n), "XNEW": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				a["XNEW"][k] = a["X"][2*k] - a["V"][k]*a["X"][2*k+1]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL3 — inner product: q += z[k]*x[k].
+func LL3() *Kernel {
+	return &Kernel{
+		Name: "LL3",
+		Spec: &ir.LoopSpec{
+			Name: "LL3-dot",
+			Body: []ir.BodyOp{
+				ir.BLoad("t1", ir.Aff("Z", 1, 0)),
+				ir.BLoad("t2", ir.Aff("X", 1, 0)),
+				ir.BMul("t3", "t1", "t2"),
+				ir.BAdd("q", "q", "t3"),
+			},
+			Step: 1, TripVar: "n", LiveIn: []string{"q"}, LiveOut: []string{"q"},
+		},
+		Vars: map[string]int64{"q": 0},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{"Z": seq(23, n), "X": seq(29, n)}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			q := v["q"]
+			for k := 0; k < n; k++ {
+				q += in["Z"][k] * in["X"][k]
+			}
+			return cloneArrays(in), map[string]int64{"q": q}
+		},
+	}
+}
+
+// LL4 — banded linear equations (elimination step):
+// y[k] = y[k] - g[k]*x[m-k].
+func LL4() *Kernel {
+	const m = 200
+	return &Kernel{
+		Name: "LL4",
+		Note: "banded elimination step with reversed operand stream: y[k] -= g[k]*x[200-k]",
+		Spec: &ir.LoopSpec{
+			Name: "LL4-band",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("G", 1, 0)),
+				ir.BLoad("b", ir.Aff("X", -1, m)),
+				ir.BMul("c", "a", "b"),
+				ir.BLoad("d", ir.Aff("Y", 1, 0)),
+				ir.BSub("e", "d", "c"),
+				ir.BStore(ir.Aff("Y", 1, 0), "e"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"G": seq(31, n), "X": seq(37, m+1), "Y": seq(41, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				a["Y"][k] -= a["G"][k] * a["X"][m-k]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL5 — tri-diagonal elimination, below diagonal:
+// x[k] = z[k]*(y[k] - x[k-1]).
+func LL5() *Kernel {
+	return &Kernel{
+		Name: "LL5",
+		Spec: &ir.LoopSpec{
+			Name: "LL5-tridiag",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("X", 1, -1)),
+				ir.BLoad("b", ir.Aff("Y", 1, 0)),
+				ir.BSub("c", "b", "a"),
+				ir.BLoad("d", ir.Aff("Z", 1, 0)),
+				ir.BMul("e", "d", "c"),
+				ir.BStore(ir.Aff("X", 1, 0), "e"),
+			},
+			// k runs from 1 so x[k-1] stays in bounds.
+			Start: 1, Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"X": seq(43, n+2), "Y": seq(47, n+2), "Z": seq(53, n+2),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			// The loop tests k+1 < n after each iteration, so with
+			// Start=1 it covers k = 1..n-1.
+			for k := 1; k < n; k++ {
+				a["X"][k] = a["Z"][k] * (a["Y"][k] - a["X"][k-1])
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL6 — general linear recurrence, reduced to first order:
+// w = b[k]*w + u[k].
+func LL6() *Kernel {
+	return &Kernel{
+		Name: "LL6",
+		Note: "first-order linear recurrence equivalent of the general recurrence inner loop",
+		Spec: &ir.LoopSpec{
+			Name: "LL6-recur",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("B", 1, 0)),
+				ir.BMul("m", "a", "w"),
+				ir.BLoad("u", ir.Aff("U", 1, 0)),
+				ir.BAdd("w", "m", "u"),
+			},
+			Step: 1, TripVar: "n", LiveIn: []string{"w"}, LiveOut: []string{"w"},
+		},
+		Vars: map[string]int64{"w": 1},
+		Arrays: func(n int) map[string][]int64 {
+			// Keep b in {-1, 0, 1} so the recurrence cannot overflow.
+			b := seq(59, n)
+			for i := range b {
+				b[i] = b[i]%3 - 1
+			}
+			return map[string][]int64{"B": b, "U": seq(61, n)}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			w := v["w"]
+			for k := 0; k < n; k++ {
+				w = in["B"][k]*w + in["U"][k]
+			}
+			return cloneArrays(in), map[string]int64{"w": w}
+		},
+	}
+}
+
+// LL7 — equation of state fragment (full expression tree):
+// x[k] = u[k] + r*(z[k]+r*y[k]) +
+//
+//	t*(u[k+3]+r*(u[k+2]+r*u[k+1]) + t*(u[k+6]+q*(u[k+5]+q*u[k+4]))).
+func LL7() *Kernel {
+	return &Kernel{
+		Name: "LL7",
+		Spec: &ir.LoopSpec{
+			Name: "LL7-state",
+			Body: []ir.BodyOp{
+				ir.BLoad("u4", ir.Aff("U", 1, 4)),
+				ir.BMul("m1", "q", "u4"),
+				ir.BLoad("u5", ir.Aff("U", 1, 5)),
+				ir.BAdd("a1", "u5", "m1"),
+				ir.BMul("m2", "q", "a1"),
+				ir.BLoad("u6", ir.Aff("U", 1, 6)),
+				ir.BAdd("a2", "u6", "m2"), // A = u6 + q*(u5 + q*u4)
+				ir.BLoad("u1", ir.Aff("U", 1, 1)),
+				ir.BMul("m3", "r", "u1"),
+				ir.BLoad("u2", ir.Aff("U", 1, 2)),
+				ir.BAdd("a3", "u2", "m3"),
+				ir.BMul("m4", "r", "a3"),
+				ir.BLoad("u3", ir.Aff("U", 1, 3)),
+				ir.BAdd("a4", "u3", "m4"), // B = u3 + r*(u2 + r*u1)
+				ir.BMul("m5", "t", "a2"),
+				ir.BAdd("a5", "a4", "m5"),
+				ir.BMul("m6", "t", "a5"), // t*(B + t*A)
+				ir.BLoad("y", ir.Aff("Y", 1, 0)),
+				ir.BMul("m7", "r", "y"),
+				ir.BLoad("z", ir.Aff("Z", 1, 0)),
+				ir.BAdd("a6", "z", "m7"),
+				ir.BMul("m8", "r", "a6"), // r*(z + r*y)
+				ir.BLoad("u0", ir.Aff("U", 1, 0)),
+				ir.BAdd("a7", "u0", "m8"),
+				ir.BAdd("a8", "a7", "m6"),
+				ir.BStore(ir.Aff("X", 1, 0), "a8"),
+			},
+			Step: 1, TripVar: "n", LiveIn: []string{"q", "r", "t"},
+		},
+		Vars: map[string]int64{"q": 1, "r": 2, "t": 1},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"U": seq(67, n+7), "Y": seq(71, n), "Z": seq(73, n),
+				"X": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			q, r, t := v["q"], v["r"], v["t"]
+			u, y, z := in["U"], in["Y"], in["Z"]
+			for k := 0; k < n; k++ {
+				A := u[k+6] + q*(u[k+5]+q*u[k+4])
+				B := u[k+3] + r*(u[k+2]+r*u[k+1])
+				a["X"][k] = u[k] + r*(z[k]+r*y[k]) + t*(B+t*A)
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL8 — ADI integration fragment, simplified to one sweep:
+// du = u1[k+1] - u1[k]; u2new[k] = u2[k] + a*du; u3new[k] = u3[k] + b*du.
+func LL8() *Kernel {
+	return &Kernel{
+		Name: "LL8",
+		Note: "single ADI sweep: two outputs from a shared central difference",
+		Spec: &ir.LoopSpec{
+			Name: "LL8-adi",
+			Body: []ir.BodyOp{
+				ir.BLoad("p", ir.Aff("U1", 1, 1)),
+				ir.BLoad("m", ir.Aff("U1", 1, 0)),
+				ir.BSub("du", "p", "m"),
+				ir.BLoad("x2", ir.Aff("U2", 1, 0)),
+				ir.BMul("s2", "a", "du"),
+				ir.BAdd("t2", "x2", "s2"),
+				ir.BStore(ir.Aff("V2", 1, 0), "t2"),
+				ir.BLoad("x3", ir.Aff("U3", 1, 0)),
+				ir.BMul("s3", "b", "du"),
+				ir.BAdd("t3", "x3", "s3"),
+				ir.BStore(ir.Aff("V3", 1, 0), "t3"),
+			},
+			Step: 1, TripVar: "n", LiveIn: []string{"a", "b"},
+		},
+		Vars: map[string]int64{"a": 2, "b": 3},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"U1": seq(79, n+1), "U2": seq(83, n), "U3": seq(89, n),
+				"V2": make([]int64, n), "V3": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				du := in["U1"][k+1] - in["U1"][k]
+				a["V2"][k] = in["U2"][k] + v["a"]*du
+				a["V3"][k] = in["U3"][k] + v["b"]*du
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL9 — integrate predictors: px[k] = b + c1*p1[k] + c2*p2[k] + c3*p3[k]
+// + c4*p4[k] + c5*p5[k] + c6*p6[k].
+func LL9() *Kernel {
+	return &Kernel{
+		Name: "LL9",
+		Note: "six-term predictor polynomial (the original has ten terms)",
+		Spec: &ir.LoopSpec{
+			Name: "LL9-predict",
+			Body: []ir.BodyOp{
+				ir.BLoad("p1", ir.Aff("P1", 1, 0)),
+				ir.BMul("m1", "c1", "p1"),
+				ir.BAdd("s1", "b0", "m1"),
+				ir.BLoad("p2", ir.Aff("P2", 1, 0)),
+				ir.BMul("m2", "c2", "p2"),
+				ir.BAdd("s2", "s1", "m2"),
+				ir.BLoad("p3", ir.Aff("P3", 1, 0)),
+				ir.BMul("m3", "c3", "p3"),
+				ir.BAdd("s3", "s2", "m3"),
+				ir.BLoad("p4", ir.Aff("P4", 1, 0)),
+				ir.BMul("m4", "c4", "p4"),
+				ir.BAdd("s4", "s3", "m4"),
+				ir.BLoad("p5", ir.Aff("P5", 1, 0)),
+				ir.BMul("m5", "c5", "p5"),
+				ir.BAdd("s5", "s4", "m5"),
+				ir.BLoad("p6", ir.Aff("P6", 1, 0)),
+				ir.BMul("m6", "c6", "p6"),
+				ir.BAdd("s6", "s5", "m6"),
+				ir.BStore(ir.Aff("PX", 1, 0), "s6"),
+			},
+			Step: 1, TripVar: "n",
+			LiveIn: []string{"b0", "c1", "c2", "c3", "c4", "c5", "c6"},
+		},
+		Vars: map[string]int64{"b0": 1, "c1": 1, "c2": 2, "c3": 1, "c4": 3, "c5": 1, "c6": 2},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"P1": seq(97, n), "P2": seq(101, n), "P3": seq(103, n),
+				"P4": seq(107, n), "P5": seq(109, n), "P6": seq(113, n),
+				"PX": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				a["PX"][k] = v["b0"] + v["c1"]*in["P1"][k] + v["c2"]*in["P2"][k] +
+					v["c3"]*in["P3"][k] + v["c4"]*in["P4"][k] +
+					v["c5"]*in["P5"][k] + v["c6"]*in["P6"][k]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL10 — difference predictors: a cascade of first differences through
+// four history arrays (the original uses ten):
+// ar = cx[k]; for j: br = ar - pxj[k]; pxj[k] = ar; ar = br.
+func LL10() *Kernel {
+	return &Kernel{
+		Name: "LL10",
+		Note: "four difference stages (the original has ten)",
+		Spec: &ir.LoopSpec{
+			Name: "LL10-diff",
+			Body: []ir.BodyOp{
+				ir.BLoad("a0", ir.Aff("CX", 1, 0)),
+				ir.BLoad("h1", ir.Aff("PX1", 1, 0)),
+				ir.BSub("a1", "a0", "h1"),
+				ir.BStore(ir.Aff("PX1", 1, 0), "a0"),
+				ir.BLoad("h2", ir.Aff("PX2", 1, 0)),
+				ir.BSub("a2", "a1", "h2"),
+				ir.BStore(ir.Aff("PX2", 1, 0), "a1"),
+				ir.BLoad("h3", ir.Aff("PX3", 1, 0)),
+				ir.BSub("a3", "a2", "h3"),
+				ir.BStore(ir.Aff("PX3", 1, 0), "a2"),
+				ir.BLoad("h4", ir.Aff("PX4", 1, 0)),
+				ir.BSub("a4", "a3", "h4"),
+				ir.BStore(ir.Aff("PX4", 1, 0), "a3"),
+				ir.BStore(ir.Aff("DX", 1, 0), "a4"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{
+				"CX": seq(127, n), "PX1": seq(131, n), "PX2": seq(137, n),
+				"PX3": seq(139, n), "PX4": seq(149, n), "DX": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				ar := in["CX"][k]
+				for _, px := range []string{"PX1", "PX2", "PX3", "PX4"} {
+					br := ar - a[px][k]
+					a[px][k] = ar
+					ar = br
+				}
+				a["DX"][k] = ar
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL11 — first sum (prefix sum): x[k] = x[k-1] + y[k].
+func LL11() *Kernel {
+	return &Kernel{
+		Name: "LL11",
+		Spec: &ir.LoopSpec{
+			Name: "LL11-psum",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("X", 1, -1)),
+				ir.BLoad("b", ir.Aff("Y", 1, 0)),
+				ir.BAdd("c", "a", "b"),
+				ir.BStore(ir.Aff("X", 1, 0), "c"),
+			},
+			Start: 1, Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{"X": seq(151, n+2), "Y": seq(157, n+2)}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			// Start=1: the loop covers k = 1..n-1.
+			for k := 1; k < n; k++ {
+				a["X"][k] = a["X"][k-1] + a["Y"][k]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL12 — first difference: x[k] = y[k+1] - y[k].
+func LL12() *Kernel {
+	return &Kernel{
+		Name: "LL12",
+		Spec: &ir.LoopSpec{
+			Name: "LL12-fdiff",
+			Body: []ir.BodyOp{
+				ir.BLoad("a", ir.Aff("Y", 1, 1)),
+				ir.BLoad("b", ir.Aff("Y", 1, 0)),
+				ir.BSub("c", "a", "b"),
+				ir.BStore(ir.Aff("X", 1, 0), "c"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			return map[string][]int64{"Y": seq(163, n+1), "X": make([]int64, n)}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				a["X"][k] = in["Y"][k+1] - in["Y"][k]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL13 — 2-D particle in cell, reduced to its scatter-accumulate core:
+// i = ix[k]; p[i] = p[i] + 1; y[k] = e[k]*p[i'] with indirect reads and
+// an indirect store that serializes iterations under conservative
+// dependence analysis — exactly what caps the paper's LL13 speedup.
+func LL13() *Kernel {
+	return &Kernel{
+		Name: "LL13",
+		Note: "particle scatter-accumulate with indirect subscripts (conservatively serialized)",
+		Spec: &ir.LoopSpec{
+			Name: "LL13-pic2d",
+			Body: []ir.BodyOp{
+				ir.BLoad("i1", ir.Aff("IX", 1, 0)),
+				ir.BLoad("p1", ir.Ind("P", "i1", 0)),
+				ir.BAddI("p2", "p1", 1),
+				ir.BStore(ir.Ind("P", "i1", 0), "p2"),
+				ir.BLoad("e", ir.Aff("E", 1, 0)),
+				ir.BMul("yv", "e", "p2"),
+				ir.BStore(ir.Aff("Y", 1, 0), "yv"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			ix := seq(167, n)
+			for i := range ix {
+				ix[i] = ix[i] % 8 // particles hash into 8 cells
+			}
+			return map[string][]int64{
+				"IX": ix, "P": seq(173, 8), "E": seq(179, n), "Y": make([]int64, n),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				i := a["IX"][k]
+				a["P"][i]++
+				a["Y"][k] = a["E"][k] * a["P"][i]
+			}
+			return a, nil
+		},
+	}
+}
+
+// LL14 — 1-D particle in cell, reduced to its gather/push core:
+// i = ix[k]; v = vx[k] + e[i]; vx[k] = v; grd[i] = grd[i] + v.
+func LL14() *Kernel {
+	return &Kernel{
+		Name: "LL14",
+		Note: "particle gather/push with one indirect accumulate",
+		Spec: &ir.LoopSpec{
+			Name: "LL14-pic1d",
+			Body: []ir.BodyOp{
+				ir.BLoad("i1", ir.Aff("IX", 1, 0)),
+				ir.BLoad("vx", ir.Aff("VX", 1, 0)),
+				ir.BLoad("e", ir.Ind("E", "i1", 0)),
+				ir.BAdd("v", "vx", "e"),
+				ir.BStore(ir.Aff("VX", 1, 0), "v"),
+				ir.BLoad("g", ir.Ind("GRD", "i1", 0)),
+				ir.BAdd("g2", "g", "v"),
+				ir.BStore(ir.Ind("GRD", "i1", 0), "g2"),
+			},
+			Step: 1, TripVar: "n",
+		},
+		Vars: map[string]int64{},
+		Arrays: func(n int) map[string][]int64 {
+			ix := seq(181, n)
+			for i := range ix {
+				ix[i] = ix[i] % 8
+			}
+			return map[string][]int64{
+				"IX": ix, "VX": seq(191, n), "E": seq(193, 8), "GRD": seq(197, 8),
+			}
+		},
+		Native: func(n int, v map[string]int64, in map[string][]int64) (map[string][]int64, map[string]int64) {
+			a := cloneArrays(in)
+			for k := 0; k < n; k++ {
+				i := a["IX"][k]
+				vv := a["VX"][k] + a["E"][i]
+				a["VX"][k] = vv
+				a["GRD"][i] += vv
+			}
+			return a, nil
+		},
+	}
+}

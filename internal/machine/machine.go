@@ -1,0 +1,78 @@
+// Package machine models the VLIW resource constraints the schedulers
+// must respect: how many operations and how many conditional jumps fit in
+// one instruction.
+//
+// The paper evaluates machines with 2, 4 and 8 universal functional
+// units. Every operation in an instruction tree occupies one unit
+// (results are computed on all paths under IBM VLIW semantics, so even
+// path-conditional operations consume a unit). Conditional jumps occupy
+// branch slots instead; with the default single branch slot per
+// instruction the machine can retire at most one loop iteration per
+// cycle, which is the throughput ceiling section 1 of the paper ascribes
+// to unconstrained pipelining techniques.
+package machine
+
+import "fmt"
+
+// Unlimited marks a resource with no limit.
+const Unlimited = -1
+
+// Machine is a VLIW resource model. The zero value is unusable; use New
+// or Infinite.
+type Machine struct {
+	// OpSlots is the number of universal functional units per
+	// instruction, or Unlimited.
+	OpSlots int
+	// BranchSlots is the number of conditional jumps allowed per
+	// instruction, or Unlimited.
+	BranchSlots int
+}
+
+// New returns a machine with fus universal functional units and a single
+// branch slot per instruction.
+func New(fus int) Machine {
+	if fus <= 0 {
+		panic("machine.New: non-positive functional unit count")
+	}
+	return Machine{OpSlots: fus, BranchSlots: 1}
+}
+
+// Infinite returns a machine with unlimited functional units and a single
+// branch slot per instruction. This is the "unconstrained" configuration
+// POST schedules against before applying resource constraints.
+func Infinite() Machine {
+	return Machine{OpSlots: Unlimited, BranchSlots: 1}
+}
+
+// WithBranchSlots returns a copy of m with the given branch slot count
+// (Unlimited for a full multiway-branching tree machine).
+func (m Machine) WithBranchSlots(n int) Machine {
+	m.BranchSlots = n
+	return m
+}
+
+// FitsOps reports whether n operations fit in one instruction.
+func (m Machine) FitsOps(n int) bool {
+	return m.OpSlots == Unlimited || n <= m.OpSlots
+}
+
+// FitsBranches reports whether n conditional jumps fit in one instruction.
+func (m Machine) FitsBranches(n int) bool {
+	return m.BranchSlots == Unlimited || n <= m.BranchSlots
+}
+
+// InfiniteOps reports whether the machine has unlimited functional units.
+func (m Machine) InfiniteOps() bool { return m.OpSlots == Unlimited }
+
+// String describes the machine.
+func (m Machine) String() string {
+	ops := "inf"
+	if m.OpSlots != Unlimited {
+		ops = fmt.Sprint(m.OpSlots)
+	}
+	brs := "inf"
+	if m.BranchSlots != Unlimited {
+		brs = fmt.Sprint(m.BranchSlots)
+	}
+	return fmt.Sprintf("machine(fus=%s, branches=%s)", ops, brs)
+}

@@ -1,0 +1,66 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNew(t *testing.T) {
+	m := New(4)
+	if m.OpSlots != 4 || m.BranchSlots != 1 {
+		t.Fatalf("New(4) = %+v", m)
+	}
+	if !m.FitsOps(4) || m.FitsOps(5) {
+		t.Error("FitsOps wrong")
+	}
+	if !m.FitsBranches(1) || m.FitsBranches(2) {
+		t.Error("FitsBranches wrong")
+	}
+	if m.InfiniteOps() {
+		t.Error("finite machine reports infinite")
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) must panic")
+		}
+	}()
+	New(0)
+}
+
+func TestInfinite(t *testing.T) {
+	m := Infinite()
+	if !m.InfiniteOps() {
+		t.Fatal("not infinite")
+	}
+	f := func(n uint16) bool { return m.FitsOps(int(n)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !m.FitsBranches(1) || m.FitsBranches(2) {
+		t.Error("infinite machine still has one branch slot")
+	}
+}
+
+func TestWithBranchSlots(t *testing.T) {
+	m := New(2).WithBranchSlots(3)
+	if !m.FitsBranches(3) || m.FitsBranches(4) {
+		t.Error("WithBranchSlots wrong")
+	}
+	u := New(2).WithBranchSlots(Unlimited)
+	if !u.FitsBranches(1000) {
+		t.Error("unlimited branch slots wrong")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := New(8).String(); !strings.Contains(s, "fus=8") || !strings.Contains(s, "branches=1") {
+		t.Errorf("String = %q", s)
+	}
+	if s := Infinite().String(); !strings.Contains(s, "fus=inf") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,130 @@
+// Package modulo implements a classic iterative modulo scheduler
+// (Rau & Glaeser 1982, also Gross & Lam 1986 — the techniques the paper
+// contrasts against in section 1). Modulo scheduling overlaps iterations
+// through a modulo reservation table with a single integer initiation
+// interval per iteration; because it takes a "local (1 or 2 iterations)
+// view of the code" its II is the ceiling of the resource bound, whereas
+// GRiP's multi-iteration kernels achieve the fractional rate — the
+// paper's introductory 5-ops-on-4-units example.
+package modulo
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Result reports a modulo schedule of one loop iteration.
+type Result struct {
+	// II is the initiation interval in cycles: one iteration starts
+	// every II cycles.
+	II int
+	// Times holds each extended-body op's start cycle.
+	Times []int
+	// Makespan is the schedule length of a single iteration.
+	Makespan int
+	// Speedup is sequential ops per iteration divided by II.
+	Speedup float64
+}
+
+// maxIITries bounds the search; the II always succeeds by seqLen, so
+// this is just a safety net.
+const maxIITries = 4096
+
+// Schedule modulo-schedules the loop body (body plus loop control) on m.
+// Operations occupy functional units; the conditional jump occupies the
+// branch slot of its cycle.
+func Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
+	info := deps.Analyze(spec)
+	ext := deps.ExtendedBody(spec)
+	n := len(ext)
+
+	minII := deps.ModuloResMII(n-1, m.OpSlots) // the cj uses no FU slot
+	if r := int(info.RecMII); r > minII {
+		minII = r
+	}
+	if float64(minII) < info.RecMII {
+		minII++
+	}
+	if minII < 1 {
+		minII = 1
+	}
+
+	for ii := minII; ii < minII+maxIITries; ii++ {
+		if times, ok := try(spec, info, ext, m, ii); ok {
+			mk := 0
+			for _, t := range times {
+				if t+1 > mk {
+					mk = t + 1
+				}
+			}
+			return &Result{
+				II:       ii,
+				Times:    times,
+				Makespan: mk,
+				Speedup:  float64(spec.SeqOpsPerIter()) / float64(ii),
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("modulo: no II found for %s (RecMII %.2f)", spec.Name, info.RecMII)
+}
+
+// try places ops in sequential order at their earliest dependence-legal
+// cycle, probing up to II slots for a free modulo reservation. A single
+// forward pass suffices for unit-latency ops whose distance-0 edges
+// always point forward.
+func try(spec *ir.LoopSpec, info *deps.LoopInfo, ext []ir.BodyOp, m machine.Machine, ii int) ([]int, bool) {
+	n := len(ext)
+	times := make([]int, n)
+	fuUse := make([]int, ii) // FU slots used per modulo cycle
+	brUse := make([]int, ii)
+
+	est := make([]int, n)
+	for i := 0; i < n; i++ {
+		t := est[i]
+		placed := false
+		for probe := 0; probe < ii; probe++ {
+			c := (t + probe) % ii
+			if ext[i].Kind == ir.CJ {
+				if m.FitsBranches(brUse[c] + 1) {
+					times[i] = t + probe
+					brUse[c]++
+					placed = true
+					break
+				}
+			} else if m.FitsOps(fuUse[c] + 1) {
+				times[i] = t + probe
+				fuUse[c]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+		// Propagate earliest start times along distance-0 and
+		// recurrence edges. A distance-d edge from i to j requires
+		// time(j) >= time(i) + 1 - d*II.
+		for _, e := range info.Edges {
+			if e.From != i || e.To <= i {
+				continue
+			}
+			req := times[i] + 1 - e.Dist*ii
+			if req > est[e.To] {
+				est[e.To] = req
+			}
+		}
+	}
+	// Check recurrence edges (To earlier than From in body order).
+	for _, e := range info.Edges {
+		if e.To > e.From {
+			continue
+		}
+		if times[e.To]+e.Dist*ii < times[e.From]+1 {
+			return nil, false
+		}
+	}
+	return times, true
+}

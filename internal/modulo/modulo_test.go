@@ -1,0 +1,74 @@
+package modulo
+
+import (
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/livermore"
+	"repro/internal/machine"
+)
+
+func TestModuloIntegralII(t *testing.T) {
+	// The section 1 example: 5 body ops + increment (the cj rides the
+	// branch slot) on 4 units needs ceil(6/4) = 2 cycles; GRiP's
+	// fractional 1.5 is out of reach for a single-iteration scheduler.
+	spec := livermore.ByName("LL12").Spec
+	m := machine.New(4)
+	res, err := Schedule(spec, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 2 {
+		t.Fatalf("II = %d, want 2", res.II)
+	}
+	if res.Speedup != float64(spec.SeqOpsPerIter())/2 {
+		t.Fatalf("speedup = %v", res.Speedup)
+	}
+}
+
+func TestModuloRespectsRecurrence(t *testing.T) {
+	spec := livermore.ByName("LL5").Spec
+	info := deps.Analyze(spec)
+	res, err := Schedule(spec, machine.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(res.II) < info.RecMII-1e-9 {
+		t.Fatalf("II %d below RecMII %.2f", res.II, info.RecMII)
+	}
+}
+
+func TestModuloScheduleLegality(t *testing.T) {
+	for _, k := range livermore.All() {
+		m := machine.New(4)
+		res, err := Schedule(k.Spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		info := deps.Analyze(k.Spec)
+		// Dependences: time(to) >= time(from) + 1 - dist*II.
+		for _, e := range info.Edges {
+			if res.Times[e.To]+e.Dist*res.II < res.Times[e.From]+1 {
+				t.Errorf("%s: edge %d->%d dist %d violated (t%d=%d, t%d=%d, II=%d)",
+					k.Name, e.From, e.To, e.Dist,
+					e.From, res.Times[e.From], e.To, res.Times[e.To], res.II)
+			}
+		}
+		// Modulo reservation: at most 4 FU ops per modulo cycle.
+		ext := deps.ExtendedBody(k.Spec)
+		use := make([]int, res.II)
+		for i, bo := range ext {
+			if bo.Kind.String() != "cj" {
+				use[res.Times[i]%res.II]++
+			}
+		}
+		for c, u := range use {
+			if u > 4 {
+				t.Errorf("%s: modulo cycle %d has %d ops", k.Name, c, u)
+			}
+		}
+		if res.Makespan <= 0 {
+			t.Errorf("%s: makespan %d", k.Name, res.Makespan)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package pipeline
+
+import (
+	"repro/internal/ir"
+	"repro/internal/sim"
+)
+
+// Optimize performs the paper's redundant-operation removal (section 4:
+// "as a result of compaction, some operations in the original code
+// become redundant and are removed ... best performed incrementally as
+// part of the scheduling process in order to ensure that unnecessary
+// operations do not compete with useful operations for resources").
+//
+// We run it as a pre-scheduling pass over the unwound chain, where every
+// affine address is a known constant, which makes the analysis exact:
+//
+//   - store→load forwarding: a load from a cell whose current value is
+//     known to be in a register becomes a copy from that register;
+//   - duplicate-load elimination: a load from a cell already loaded (with
+//     no intervening may-alias store) becomes a copy;
+//   - copy propagation: uses of copy targets are rewritten to the copy
+//     sources (including the epilogue live-out bindings);
+//   - dead-code elimination: operations whose results are never used and
+//     are not observable are dropped.
+//
+// This is what makes some speedups exceed the functional-unit count, as
+// the paper notes for Table 1: the sequential baseline still pays for
+// the removed operations.
+//
+// Optimize must be called before BuildGraph.
+func (u *Unwound) Optimize() {
+	if u.G != nil {
+		panic("pipeline: Optimize after BuildGraph")
+	}
+	before := len(u.Ops)
+	u.forwardMemory()
+	u.propagateCopies()
+	u.eliminateDead()
+	u.removed += before - len(u.Ops)
+}
+
+// forwardMemory rewrites loads whose value is statically known to be in
+// a register into copies.
+func (u *Unwound) forwardMemory() {
+	known := map[sim.Key]ir.Reg{} // cell -> register holding its current value
+	for _, op := range u.Ops {
+		switch {
+		case op.IsLoad() && !op.Mem.Indirect():
+			key := sim.Key{Arr: op.Mem.Array, Idx: op.Mem.Index}
+			if r, ok := known[key]; ok {
+				// Forward: the load becomes a copy. Origin and
+				// iteration tags survive so gap prevention still sees
+				// the op as part of its iteration.
+				op.Kind = ir.Copy
+				op.Src[0] = r
+				op.Mem = ir.MemRef{}
+			} else {
+				known[key] = op.Dst
+			}
+		case op.IsLoad(): // indirect load: nothing cacheable
+		case op.IsStore() && !op.Mem.Indirect():
+			known[sim.Key{Arr: op.Mem.Array, Idx: op.Mem.Index}] = op.Src[0]
+		case op.IsStore():
+			// Indirect store: invalidate every known cell of the array.
+			for k := range known {
+				if k.Arr == op.Mem.Array {
+					delete(known, k)
+				}
+			}
+		}
+	}
+}
+
+// propagateCopies rewrites every use of a copy's target to the copy's
+// source. Safe on the SSA-renamed chain: each register has exactly one
+// definition, so the source register's value never changes after the
+// copy executes.
+func (u *Unwound) propagateCopies() {
+	alias := map[ir.Reg]ir.Reg{}
+	resolve := func(r ir.Reg) ir.Reg {
+		for {
+			a, ok := alias[r]
+			if !ok {
+				return r
+			}
+			r = a
+		}
+	}
+	for _, op := range u.Ops {
+		op.Src[0] = resolve(op.Src[0])
+		op.Src[1] = resolve(op.Src[1])
+		if op.Mem.IndexReg != ir.NoReg {
+			op.Mem.IndexReg = resolve(op.Mem.IndexReg)
+		}
+		if op.IsCopy() {
+			alias[op.Dst] = op.Src[0]
+		}
+	}
+	for i := range u.epilogues {
+		for j, r := range u.epilogues[i] {
+			u.epilogues[i][j] = resolve(r)
+		}
+	}
+}
+
+// eliminateDead removes operations whose destination register is never
+// read afterwards and is not observable at any exit. Stores and branches
+// are always live.
+func (u *Unwound) eliminateDead() {
+	live := map[ir.Reg]bool{}
+	for _, snap := range u.epilogues {
+		for _, r := range snap {
+			live[r] = true
+		}
+	}
+	kept := make([]*ir.Op, 0, len(u.Ops))
+	for i := len(u.Ops) - 1; i >= 0; i-- {
+		op := u.Ops[i]
+		d := op.Def()
+		if d == ir.NoReg || live[d] {
+			for _, r := range op.Uses(nil) {
+				live[r] = true
+			}
+			kept = append(kept, op)
+		}
+	}
+	for i, j := 0, len(kept)-1; i < j; i, j = i+1, j-1 {
+		kept[i], kept[j] = kept[j], kept[i]
+	}
+	u.Ops = kept
+}

@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Kernel describes the steady-state pattern detected in a pipelined
+// schedule: rows [Start, Start+Rows) repeat with every operation's
+// iteration index advanced by IterSpan — the new loop body of Perfect
+// Pipelining. Its rate is IterSpan iterations every Rows cycles.
+type Kernel struct {
+	Start    int
+	Rows     int
+	IterSpan int
+}
+
+// CyclesPerIter is the kernel's steady-state cost per loop iteration.
+func (k *Kernel) CyclesPerIter() float64 {
+	return float64(k.Rows) / float64(k.IterSpan)
+}
+
+func (k *Kernel) String() string {
+	return fmt.Sprintf("kernel{rows %d..%d, %d iter/%d cycles}",
+		k.Start, k.Start+k.Rows-1, k.IterSpan, k.Rows)
+}
+
+// rowSig is a canonical row signature: the (origin, iteration) pairs of
+// the schedulable content, sorted.
+type rowSig [][2]int
+
+func signatureOf(n *graph.Node) rowSig {
+	var sig rowSig
+	n.Walk(func(v *graph.Vertex) {
+		for _, o := range v.Ops {
+			if !o.Frozen {
+				sig = append(sig, [2]int{o.Origin, o.Iter})
+			}
+		}
+		if v.CJ != nil && !v.CJ.Frozen {
+			sig = append(sig, [2]int{v.CJ.Origin, v.CJ.Iter})
+		}
+	})
+	sort.Slice(sig, func(i, j int) bool {
+		if sig[i][0] != sig[j][0] {
+			return sig[i][0] < sig[j][0]
+		}
+		return sig[i][1] < sig[j][1]
+	})
+	return sig
+}
+
+// shiftEqual reports whether b equals a with every iteration advanced by
+// d.
+func shiftEqual(a, b rowSig, d int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if b[i][0] != a[i][0] || b[i][1] != a[i][1]+d {
+			return false
+		}
+	}
+	return true
+}
+
+// DetectPattern scans the schedule's main chain for the earliest,
+// shortest repeating pattern: a window of L rows that repeats (with a
+// positive iteration shift) for at least `periods` consecutive periods.
+// Three periods make accidental matches in the fill/drain regions
+// vanishingly unlikely while still succeeding well before full unwind.
+func DetectPattern(g *graph.Graph, periods int) (*Kernel, bool) {
+	if periods < 2 {
+		periods = 2
+	}
+	chain := g.MainChain()
+	sigs := make([]rowSig, len(chain))
+	for i, n := range chain {
+		sigs[i] = signatureOf(n)
+	}
+	n := len(sigs)
+
+	// A valid kernel must perform every operation an iteration needs:
+	// each "steady" origin (one that still has live instances in the
+	// final iterations — i.e. was not eliminated by redundant-operation
+	// removal) must appear exactly IterSpan times per period. This
+	// rejects pseudo-patterns whose work was hoisted into the finite
+	// prelude (the Figure 9 divergence: all loads at the top, rows that
+	// repeat but could never loop).
+	maxIter := -1
+	for _, sig := range sigs {
+		for _, p := range sig {
+			if p[1] > maxIter {
+				maxIter = p[1]
+			}
+		}
+	}
+	steady := map[int]bool{}
+	for _, sig := range sigs {
+		for _, p := range sig {
+			if p[1] >= maxIter-1 {
+				steady[p[0]] = true
+			}
+		}
+	}
+	coversSteady := func(s, L, d int) bool {
+		counts := map[int]int{}
+		for r := s; r < s+L; r++ {
+			for _, p := range sigs[r] {
+				counts[p[0]]++
+			}
+		}
+		for o := range steady {
+			if counts[o] != d {
+				return false
+			}
+		}
+		for o := range counts {
+			if !steady[o] && counts[o] != d {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Kernels are short (at most a few iterations of rows); capping the
+	// period length keeps the search near-linear in the chain length.
+	const maxPeriod = 64
+	for s := 0; s < n; s++ {
+		if len(sigs[s]) == 0 {
+			continue
+		}
+		maxL := (n - s) / periods
+		if maxL > maxPeriod {
+			maxL = maxPeriod
+		}
+		for L := 1; L <= maxL; L++ {
+			if len(sigs[s+L]) != len(sigs[s]) || len(sigs[s]) == 0 {
+				continue
+			}
+			d := sigs[s+L][0][1] - sigs[s][0][1]
+			if d <= 0 {
+				continue
+			}
+			ok := true
+			for r := s; r < s+(periods-1)*L && ok; r++ {
+				ok = shiftEqual(sigs[r], sigs[r+L], d)
+			}
+			if ok && coversSteady(s, L, d) {
+				return &Kernel{Start: s, Rows: L, IterSpan: d}, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// MeasuredRate estimates cycles per iteration without requiring a
+// pattern: it counts the rows between the retirement (conditional jump)
+// of iteration lo and of iteration hi on the main chain. Branches are
+// never reordered or merged, and exactly one retires per iteration, so
+// this is the schedule's true sustained rate even when it has not
+// converged (the Figure 9 situation).
+func MeasuredRate(g *graph.Graph, lo, hi int) (float64, bool) {
+	if hi <= lo {
+		return 0, false
+	}
+	chain := g.MainChain()
+	cjRow := map[int]int{}
+	for row, n := range chain {
+		for _, cj := range n.Branches() {
+			if !cj.Frozen {
+				cjRow[cj.Iter] = row
+			}
+		}
+	}
+	rl, okl := cjRow[lo]
+	rh, okh := cjRow[hi]
+	if !okl || !okh {
+		return 0, false
+	}
+	return float64(rh-rl) / float64(hi-lo), true
+}

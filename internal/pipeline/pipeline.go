@@ -1,0 +1,229 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/ps"
+	"repro/internal/sim"
+)
+
+// Config controls a pipelining run.
+type Config struct {
+	Machine machine.Machine
+	// Unwind fixes the unwind factor; 0 means automatic (try a ladder
+	// of factors until the pattern converges).
+	Unwind int
+	// MaxUnwind caps automatic unwinding.
+	MaxUnwind int
+	// Optimize enables redundant-operation removal.
+	Optimize bool
+	// GapPrevention enables the section 3.3 machinery (required for
+	// convergence; switch off to reproduce the Figure 9 gaps).
+	GapPrevention bool
+	// EmptyPrelude, Renaming: passed through to the GRiP scheduler.
+	EmptyPrelude int
+	Renaming     bool
+	// Periods is the pattern-verification length (default 3).
+	Periods int
+	// TraceNode is passed to the scheduler for Figure 11-style traces.
+	TraceNode func(n *graph.Node, moveable []*ir.Op)
+}
+
+// DefaultConfig returns the paper-faithful configuration for machine m.
+func DefaultConfig(m machine.Machine) Config {
+	return Config{
+		Machine:       m,
+		MaxUnwind:     96,
+		Optimize:      true,
+		GapPrevention: true,
+		Periods:       3,
+	}
+}
+
+// Result reports a pipelining run.
+type Result struct {
+	Spec      *ir.LoopSpec
+	U         int
+	Converged bool
+	Kernel    *Kernel
+	// CyclesPerIter is the steady-state cost of one source iteration
+	// (from the kernel when converged, otherwise measured mid-schedule).
+	CyclesPerIter float64
+	// Speedup is sequential cycles per iteration (original operation
+	// count) divided by CyclesPerIter — the paper's Table 1 metric.
+	Speedup float64
+	// Rows is the length of the scheduled main chain.
+	Rows    int
+	Stats   core.Stats
+	Unwound *Unwound
+}
+
+// PerfectPipeline unwinds, schedules with GRiP, and detects the
+// steady-state kernel, increasing the unwind factor until the pattern
+// converges (or MaxUnwind is reached, in which case the best-effort
+// result has Converged false — which is itself meaningful: without gap
+// prevention many loops never converge, the paper's Figure 9).
+func PerfectPipeline(spec *ir.LoopSpec, cfg Config) (*Result, error) {
+	factors := []int{cfg.Unwind}
+	if cfg.Unwind == 0 {
+		max := cfg.MaxUnwind
+		if max <= 0 {
+			max = 96
+		}
+		factors = nil
+		for u := 12; u <= max; u *= 2 {
+			factors = append(factors, u)
+		}
+	}
+	var last *Result
+	for _, u := range factors {
+		res, err := pipelineOnce(spec, cfg, u)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+		if res.Converged {
+			return res, nil
+		}
+	}
+	return last, nil
+}
+
+func pipelineOnce(spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
+	uw, err := Unwind(spec, u)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Optimize {
+		uw.Optimize()
+	}
+	g := uw.BuildGraph()
+	ddg := deps.Build(uw.Ops)
+	ctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	stats, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{
+		GapPrevention: cfg.GapPrevention,
+		EmptyPrelude:  cfg.EmptyPrelude,
+		Renaming:      cfg.Renaming,
+		TraceNode:     cfg.TraceNode,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: spec, U: u, Stats: stats, Unwound: uw, Rows: len(g.MainChain())}
+	periods := cfg.Periods
+	if periods == 0 {
+		periods = 3
+	}
+	if k, ok := DetectPattern(g, periods); ok {
+		res.Converged = true
+		res.Kernel = k
+		res.CyclesPerIter = k.CyclesPerIter()
+	} else if rate, ok := MeasuredRate(g, u/4, 3*u/4); ok {
+		res.CyclesPerIter = rate
+	} else {
+		res.CyclesPerIter = float64(res.Rows) / float64(u)
+	}
+	if res.CyclesPerIter > 0 {
+		res.Speedup = float64(spec.SeqOpsPerIter()) / res.CyclesPerIter
+	}
+	return res, nil
+}
+
+// SimplePipeline implements the paper's "simple software pipelining"
+// comparison (Figure 6): unwind n iterations, compact the block with
+// GRiP as straight-line code, and retain the back edge. The speedup is
+// over the whole n-iteration block, with no steady-state reformation.
+func SimplePipeline(spec *ir.LoopSpec, cfg Config, n int) (*Result, error) {
+	uw, err := Unwind(spec, n)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Optimize {
+		uw.Optimize()
+	}
+	g := uw.BuildGraph()
+	ddg := deps.Build(uw.Ops)
+	ctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	stats, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{
+		Renaming: cfg.Renaming,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := len(g.MainChain())
+	res := &Result{
+		Spec: spec, U: n, Stats: stats, Unwound: uw, Rows: rows,
+		CyclesPerIter: float64(rows) / float64(n),
+	}
+	res.Speedup = float64(spec.SeqOpsPerIter()) / res.CyclesPerIter
+	return res, nil
+}
+
+// InitState builds an initial machine state: live-in scalars from vars
+// (the trip variable included), arrays by name, and the loop counter at
+// its start value. Two Unwound instances built from the same spec and
+// factor number their registers identically, so a state built on one is
+// valid for the other.
+func (u *Unwound) InitState(vars map[string]int64, arrays map[string][]int64) *sim.State {
+	s := sim.NewState()
+	for v, r := range u.LiveIn {
+		s.SetReg(r, vars[v])
+	}
+	s.SetReg(u.LiveIn[ir.CounterVar], u.Spec.Start)
+	// Allocate array IDs in sorted name order: arrays the loop itself
+	// never references would otherwise get IDs in map iteration order,
+	// making states from two Unwound instances incomparable.
+	names := make([]string, 0, len(arrays))
+	for name := range arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s.SetArray(u.Alloc.Array(name), arrays[name])
+	}
+	return s
+}
+
+// ValidateSemantics proves a scheduled pipeline graph equivalent to the
+// original loop: a fresh, unoptimized, unscheduled unwinding is executed
+// against the same inputs for every given trip count (trips below the
+// unwind factor exercise the drain code that move-cj splitting
+// produced), and memory plus live-out registers must match.
+func ValidateSemantics(res *Result, vars map[string]int64, arrays map[string][]int64, trips []int64) error {
+	ref, err := Unwind(res.Spec, res.U)
+	if err != nil {
+		return err
+	}
+	refG := ref.BuildGraph()
+	maxCycles := 100 * (ref.SeqCycles(res.U) + 100)
+	for _, trip := range trips {
+		v := map[string]int64{}
+		for k, val := range vars {
+			v[k] = val
+		}
+		v[res.Spec.TripVar] = trip
+
+		refRes, err := sim.Run(refG, ref.InitState(v, arrays), maxCycles)
+		if err != nil {
+			return fmt.Errorf("trip %d: reference: %w", trip, err)
+		}
+		gotRes, err := sim.Run(res.Unwound.G, res.Unwound.InitState(v, arrays), maxCycles)
+		if err != nil {
+			return fmt.Errorf("trip %d: scheduled: %w", trip, err)
+		}
+		var outRegs []ir.Reg
+		for _, r := range ref.LiveOut {
+			outRegs = append(outRegs, r)
+		}
+		if err := sim.Equivalent(refRes.State, gotRes.State, outRegs); err != nil {
+			return fmt.Errorf("trip %d: %w", trip, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/machine"
+)
+
+// KernelReport summarizes the converged kernel's resource usage — the
+// quantity GRiP's integrated resource constraints are supposed to
+// maximize ("a schedule that would execute at the peak capacity of the
+// machine", section 1).
+type KernelReport struct {
+	Rows        int
+	IterSpan    int
+	OpsPerRow   []int
+	CJsPerRow   []int
+	Utilization float64 // fraction of FU slots filled, 0..1 (1 for unlimited machines means fully dependence-bound)
+}
+
+// Report computes the kernel report for a converged result on machine m.
+// Returns nil when the pipeline did not converge.
+func (r *Result) Report(m machine.Machine) *KernelReport {
+	if r.Kernel == nil || r.Unwound == nil || r.Unwound.G == nil {
+		return nil
+	}
+	chain := r.Unwound.G.MainChain()
+	k := r.Kernel
+	if k.Start+k.Rows > len(chain) {
+		return nil
+	}
+	rep := &KernelReport{Rows: k.Rows, IterSpan: k.IterSpan}
+	totalOps := 0
+	for _, n := range chain[k.Start : k.Start+k.Rows] {
+		ops := n.OpCount()
+		rep.OpsPerRow = append(rep.OpsPerRow, ops)
+		rep.CJsPerRow = append(rep.CJsPerRow, n.BranchCount())
+		totalOps += ops
+	}
+	if !m.InfiniteOps() && k.Rows > 0 {
+		rep.Utilization = float64(totalOps) / float64(m.OpSlots*k.Rows)
+	} else {
+		rep.Utilization = 1
+	}
+	return rep
+}
+
+// String renders the report.
+func (rep *KernelReport) String() string {
+	var rows []string
+	for i, ops := range rep.OpsPerRow {
+		rows = append(rows, fmt.Sprintf("%d+%dcj", ops, rep.CJsPerRow[i]))
+	}
+	return fmt.Sprintf("kernel %d rows / %d iterations, rows [%s], utilization %.0f%%",
+		rep.Rows, rep.IterSpan, strings.Join(rows, " "), rep.Utilization*100)
+}

@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// dotLoop is an LL3-style inner product: q += z[k]*x[k].
+func dotLoop() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "dot",
+		Body: []ir.BodyOp{
+			ir.BLoad("t1", ir.Aff("Z", 1, 0)),
+			ir.BLoad("t2", ir.Aff("X", 1, 0)),
+			ir.BMul("t3", "t1", "t2"),
+			ir.BAdd("q", "q", "t3"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"q"}, LiveOut: []string{"q"},
+	}
+}
+
+// saxpyLoop is an LL1-flavoured vectorizable loop:
+// x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func saxpyLoop() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "hydro",
+		Body: []ir.BodyOp{
+			ir.BLoad("z10", ir.Aff("Z", 1, 10)),
+			ir.BLoad("z11", ir.Aff("Z", 1, 11)),
+			ir.BMul("a", "r", "z10"),
+			ir.BMul("b", "t", "z11"),
+			ir.BAdd("c", "a", "b"),
+			ir.BLoad("y", ir.Aff("Y", 1, 0)),
+			ir.BMul("d", "y", "c"),
+			ir.BAdd("e", "q", "d"),
+			ir.BStore(ir.Aff("X", 1, 0), "e"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"q", "r", "t"},
+	}
+}
+
+func arrays(n int) map[string][]int64 {
+	mk := func(seed int64) []int64 {
+		v := make([]int64, n)
+		for i := range v {
+			v[i] = (seed*int64(i))%17 + 1
+		}
+		return v
+	}
+	return map[string][]int64{"X": mk(3), "Y": mk(5), "Z": mk(7)}
+}
+
+func TestSmokePerfectPipelineDot(t *testing.T) {
+	cfg := DefaultConfig(machine.New(4))
+	res, err := PerfectPipeline(dotLoop(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dot @4FU: converged=%v U=%d kernel=%v cpi=%.3f speedup=%.2f stats=%+v",
+		res.Converged, res.U, res.Kernel, res.CyclesPerIter, res.Speedup, res.Stats)
+	if !res.Converged {
+		t.Fatalf("dot loop did not converge")
+	}
+	if err := ValidateSemantics(res, map[string]int64{"q": 2}, arrays(128), []int64{1, 3, res.int64U() / 2, res.int64U()}); err != nil {
+		t.Fatalf("semantics: %v", err)
+	}
+	if res.Speedup < 2.5 {
+		t.Errorf("speedup %.2f unexpectedly low", res.Speedup)
+	}
+}
+
+func (r *Result) int64U() int64 { return int64(r.U) }
+
+func TestSmokePerfectPipelineSaxpy(t *testing.T) {
+	for _, fus := range []int{2, 4, 8} {
+		cfg := DefaultConfig(machine.New(fus))
+		res, err := PerfectPipeline(saxpyLoop(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("hydro @%dFU: converged=%v U=%d kernel=%v cpi=%.3f speedup=%.2f barriers=%d",
+			fus, res.Converged, res.U, res.Kernel, res.CyclesPerIter, res.Speedup, res.Stats.ResourceBarriers)
+		if !res.Converged {
+			t.Errorf("hydro @%dFU did not converge", fus)
+			continue
+		}
+		if err := ValidateSemantics(res, map[string]int64{"q": 2, "r": 3, "t": 4}, arrays(160), []int64{2, 5, int64(res.U)}); err != nil {
+			t.Errorf("@%dFU semantics: %v", fus, err)
+		}
+		want := math.Min(float64(fus), 11.0/1.0)
+		if res.Speedup < 0.6*want {
+			t.Errorf("@%dFU speedup %.2f far below expectation %.1f", fus, res.Speedup, want)
+		}
+	}
+}

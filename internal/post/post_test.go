@@ -1,0 +1,65 @@
+package post
+
+import (
+	"testing"
+
+	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+)
+
+func TestPostRespectsResources(t *testing.T) {
+	k := livermore.ByName("LL1")
+	for _, fus := range []int{2, 4} {
+		cfg := pipeline.DefaultConfig(machine.New(fus))
+		res, err := Pipeline(k.Spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After breaking, every main-chain row obeys the target width
+		// (over-wide rows may only remain when nothing was safely
+		// demotable, which must not happen on this vectorizable loop).
+		for _, n := range res.Unwound.G.MainChain() {
+			if n.OpCount() > fus {
+				t.Errorf("@%dFU: row n%d has %d ops", fus, n.ID, n.OpCount())
+			}
+			if n.BranchCount() > 1 {
+				t.Errorf("@%dFU: row n%d has %d branches", fus, n.ID, n.BranchCount())
+			}
+		}
+		if res.Speedup <= 1 {
+			t.Errorf("@%dFU: speedup %.2f", fus, res.Speedup)
+		}
+		if err := res.Unwound.G.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPostSemanticsPreserved(t *testing.T) {
+	k := livermore.ByName("LL10")
+	cfg := pipeline.DefaultConfig(machine.New(4))
+	res, err := Pipeline(k.Spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trips := []int64{2, int64(res.U / 2), int64(res.U)}
+	if err := pipeline.ValidateSemantics(res, k.Vars, k.Arrays(res.U+8), trips); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPostNeverBeatsBoundlessGrip(t *testing.T) {
+	// POST's phase-1 schedule at infinite resources retires at most one
+	// iteration per cycle (single branch slot); the post-pass can only
+	// slow it down.
+	k := livermore.ByName("LL12")
+	cfg := pipeline.DefaultConfig(machine.New(8))
+	res, err := Pipeline(k.Spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CyclesPerIter < 0.999 {
+		t.Fatalf("POST rate %.3f cycles/iter beats the branch-slot floor", res.CyclesPerIter)
+	}
+}

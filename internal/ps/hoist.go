@@ -1,0 +1,109 @@
+package ps
+
+import (
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// TryHoist attempts to move op one vertex up inside its instruction
+// tree, past the conditional jump at the parent vertex. This is
+// speculation: afterwards the op's result commits even when the branch
+// takes the other side. It is legal when
+//
+//   - the op is not a store (stores are irreversible; the paper's GRiP
+//     "always allows speculative scheduling" of recoverable operations,
+//     and loads, arithmetic and division are all recoverable here —
+//     division by zero is defined as 0 by the simulator);
+//   - no operation on the sibling subtree defines the same register
+//     (double commit on one path); and
+//   - the op's target register is dead along the sibling side: nothing
+//     reachable through the sibling's leaves reads it before a kill, and
+//     it is not observable at program exit. (Write-live condition.)
+func (c *Ctx) TryHoist(op *ir.Op, commit bool) Block {
+	if op.Frozen {
+		return Block{Kind: BlockFrozen}
+	}
+	if op.IsBranch() {
+		panic("ps: TryHoist on branch")
+	}
+	v := c.G.Where(op)
+	if v == nil {
+		panic("ps: unplaced op")
+	}
+	n := v.Node()
+	if v == n.Root {
+		return Block{Kind: BlockStructure}
+	}
+	parent := v.Parent()
+	if op.IsStore() {
+		return Block{Kind: BlockDep, By: parent.CJ}
+	}
+	d := op.Def()
+	sib := v.Sibling()
+
+	// Double definition on a newly shared path: the sibling subtree or
+	// the root path above the parent already commits d.
+	if blk := findDef(sib, d, op); blk.Kind != BlockNone {
+		return blk
+	}
+	for a := parent; a != nil; a = a.Parent() {
+		for _, p := range a.Ops {
+			if p != op && d != ir.NoReg && p.Def() == d {
+				return Block{Kind: BlockDep, By: p}
+			}
+		}
+	}
+
+	// Write-live on the sibling side.
+	if deps.LiveOnSubtree(c.G, sib, d, c.ExitLive) {
+		return Block{Kind: BlockDep}
+	}
+
+	if !commit {
+		return blockNone
+	}
+	c.G.HoistOp(op)
+	c.Hoists++
+	return blockNone
+}
+
+func findDef(v *graph.Vertex, d ir.Reg, except *ir.Op) Block {
+	if d == ir.NoReg {
+		return blockNone
+	}
+	block := blockNone
+	var walk func(w *graph.Vertex)
+	walk = func(w *graph.Vertex) {
+		if block.Kind != BlockNone {
+			return
+		}
+		for _, p := range w.Ops {
+			if p != except && p.Def() == d {
+				block = Block{Kind: BlockDep, By: p}
+				return
+			}
+		}
+		if !w.IsLeaf() {
+			walk(w.True)
+			walk(w.False)
+		}
+	}
+	walk(v)
+	return block
+}
+
+// HoistToRoot hoists op repeatedly until it reaches the root vertex of
+// its node or a hoist is blocked. It returns the first block, or
+// BlockNone when the op reached the root.
+func (c *Ctx) HoistToRoot(op *ir.Op) Block {
+	for {
+		v := c.G.Where(op)
+		if v == v.Node().Root {
+			return blockNone
+		}
+		if blk := c.TryHoist(op, true); blk.Kind != BlockNone {
+			return blk
+		}
+	}
+}

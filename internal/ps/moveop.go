@@ -1,0 +1,154 @@
+package ps
+
+import (
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// rewrite is a copy-propagation substitution: a use of from becomes a use
+// of to. Valid because the copy "to -> from" on the destination path read
+// register to at the destination instruction's entry — exactly where the
+// moved operation will read it (paper section 2: "we simply change the
+// use of B into a use of X").
+type rewrite struct{ from, to ir.Reg }
+
+// TryMoveOpUp attempts the move-op transformation of Figure 2: move op —
+// which must sit at the root vertex of its node — one edge up, attaching
+// it at the leaf of the unique predecessor that points at op's node. The
+// commit condition of the op is exactly preserved (it still commits iff
+// control would have reached its old node), so this step alone is never
+// speculative; speculation happens in TryHoist.
+//
+// With commit false the graph is left untouched and the result reports
+// whether the move would succeed. excluding, when non-nil, is treated as
+// absent from the graph: the Gapless-move test (condition 4) uses it to
+// ask "would X be moveable if Op had already left?".
+func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
+	if op.Frozen {
+		return Block{Kind: BlockFrozen}
+	}
+	if op.IsBranch() {
+		panic("ps: TryMoveOpUp on branch")
+	}
+	v := c.G.Where(op)
+	if v == nil {
+		panic("ps: unplaced op")
+	}
+	n := v.Node()
+	if v != n.Root {
+		// Under a branch inside the node: must hoist first.
+		return Block{Kind: BlockStructure}
+	}
+	t, leaf, blk := c.predLeaf(n)
+	if blk.Kind != BlockNone {
+		return blk
+	}
+
+	// Dependence scan along the committed path of the target node.
+	uses := op.Uses(nil)
+	var rewrites []rewrite
+	block := blockNone
+	pathOps(leaf, func(p *ir.Op) bool {
+		if p == excluding || p == op {
+			return true
+		}
+		if d := p.Def(); d != ir.NoReg {
+			for i, u := range uses {
+				if u != d {
+					continue
+				}
+				if p.IsCopy() {
+					// Propagate through the copy.
+					uses[i] = p.Src[0]
+					rewrites = append(rewrites, rewrite{from: d, to: p.Src[0]})
+					continue
+				}
+				block = Block{Kind: BlockDep, By: p}
+				return false
+			}
+			if d == op.Def() {
+				// Output dependence: two commits of the same register
+				// on one path. Renaming can remove this.
+				block = Block{Kind: BlockDep, By: p}
+				return false
+			}
+		}
+		// Memory ordering: a load may not pass an aliasing store; two
+		// aliasing stores may not share a path (ambiguous commit).
+		if !op.Mem.IsZero() && !p.Mem.IsZero() {
+			if (op.IsLoad() && p.IsStore() || op.IsStore() && p.IsStore()) && op.Mem.MayAlias(p.Mem) {
+				block = Block{Kind: BlockDep, By: p}
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if block.Kind != BlockNone {
+		return block
+	}
+
+	// Move-past-read: a reader of op's target remaining in the source
+	// node would observe the new value instead of the old one (reads
+	// happen at entry). Renaming can remove this. The memory analogue:
+	// a store may not move above an aliasing load left behind.
+	if blk := c.scanMovePastRead(n, op, excluding); blk.Kind != BlockNone {
+		return blk
+	}
+
+	// Resources: every op in the tree occupies a functional unit.
+	target := t.OpCount() + 1
+	if excluding != nil && !excluding.IsBranch() && c.G.NodeOf(excluding) == t {
+		target--
+	}
+	if !c.M.FitsOps(target) {
+		return Block{Kind: BlockResource}
+	}
+
+	if !commit {
+		return blockNone
+	}
+	for _, rw := range rewrites {
+		op.ReplaceUse(rw.from, rw.to)
+	}
+	c.G.MoveOp(op, leaf)
+	c.Moves++
+	if n.Empty() {
+		if c.G.SpliceOutEmpty(n) {
+			c.Splices++
+		}
+	}
+	return blockNone
+}
+
+func (c *Ctx) scanMovePastRead(n *graph.Node, op *ir.Op, excluding *ir.Op) Block {
+	d := op.Def()
+	block := blockNone
+	n.Walk(func(v *graph.Vertex) {
+		if block.Kind != BlockNone {
+			return
+		}
+		check := func(p *ir.Op) bool {
+			if p == op || p == excluding {
+				return true
+			}
+			if d != ir.NoReg && p.ReadsReg(d) {
+				block = Block{Kind: BlockDep, By: p}
+				return false
+			}
+			if op.IsStore() && p.IsLoad() && op.Mem.MayAlias(p.Mem) {
+				block = Block{Kind: BlockDep, By: p}
+				return false
+			}
+			return true
+		}
+		for _, p := range v.Ops {
+			if !check(p) {
+				return
+			}
+		}
+		if v.CJ != nil {
+			check(v.CJ)
+		}
+	})
+	return block
+}

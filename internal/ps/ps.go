@@ -1,0 +1,135 @@
+// Package ps implements the core Percolation Scheduling transformations
+// of the paper's section 2: move-op (Figure 2), move-cj (Figure 3),
+// within-node hoisting (speculation past a conditional jump under IBM
+// VLIW path semantics), renaming, and the copy propagation that lets
+// operations move past copies.
+//
+// Every transformation is semantics-preserving; the test suite proves
+// this by simulation. The package exposes Can/Do pairs plus StepUp, the
+// one-edge upward move the schedulers build migration from.
+package ps
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// BlockKind classifies why an operation could not move.
+type BlockKind int
+
+// Block kinds. BlockDep covers strict data dependences (and control
+// dependences such as a store refusing to pass a branch); BlockResource
+// means the target instruction is full — the situation that creates the
+// paper's resource barriers; BlockStructure covers graph-shape limits
+// (program entry reached, multiple predecessors, nested branches).
+const (
+	BlockNone BlockKind = iota
+	BlockDep
+	BlockResource
+	BlockStructure
+	BlockFrozen
+)
+
+// String names the block kind.
+func (k BlockKind) String() string {
+	switch k {
+	case BlockNone:
+		return "none"
+	case BlockDep:
+		return "dep"
+	case BlockResource:
+		return "resource"
+	case BlockStructure:
+		return "structure"
+	case BlockFrozen:
+		return "frozen"
+	}
+	return fmt.Sprintf("block(%d)", int(k))
+}
+
+// Block describes a failed move.
+type Block struct {
+	Kind BlockKind
+	// By is the operation responsible for a BlockDep, when identifiable:
+	// the producer the mover depends on, or the branch a store refuses
+	// to pass. Nil for environmental blocks (liveness on a frozen exit
+	// path).
+	By *ir.Op
+}
+
+var blockNone = Block{Kind: BlockNone}
+
+// Ctx carries the graph, the machine model, and the exit-liveness
+// interface through a scheduling session, and counts transformation
+// statistics.
+type Ctx struct {
+	G *graph.Graph
+	M machine.Machine
+
+	// ExitLive lists the registers observable when the program exits
+	// (the destinations of live-out epilogue copies). Used by the
+	// write-live test for speculative hoisting.
+	ExitLive map[ir.Reg]bool
+
+	// Stats.
+	Moves   int // successful move-op steps
+	Hoists  int // successful speculation hoists
+	CJMoves int // successful move-cj steps
+	Splices int // empty nodes removed
+	Renames int // renaming transformations applied
+}
+
+// NewCtx returns a transformation context.
+func NewCtx(g *graph.Graph, m machine.Machine, exitLive map[ir.Reg]bool) *Ctx {
+	if exitLive == nil {
+		exitLive = map[ir.Reg]bool{}
+	}
+	return &Ctx{G: g, M: m, ExitLive: exitLive}
+}
+
+// predLeaf returns the unique predecessor node of n and the leaf in it
+// that points at n, or a structural block. Percolation moves operations
+// up one edge at a time; a node reached by several edges would need the
+// unification transformation, which the unwound loops this repository
+// schedules never require (every node has one predecessor until the loop
+// is re-formed).
+func (c *Ctx) predLeaf(n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
+	t := c.G.SinglePred(n)
+	if t == nil || t == n {
+		return nil, nil, Block{Kind: BlockStructure}
+	}
+	for _, l := range t.Leaves() {
+		if l.Succ == n {
+			return t, l, blockNone
+		}
+	}
+	return nil, nil, Block{Kind: BlockStructure}
+}
+
+// pathOps calls f for every operation committed on the path from the
+// root of leaf's node down to leaf (the operations a mover would be
+// inserted after, value-wise). Branches on the path are passed to fb.
+func pathOps(leaf *graph.Vertex, f func(*ir.Op) bool, fb func(*ir.Op) bool) bool {
+	// Collect root -> leaf chain.
+	var chain []*graph.Vertex
+	for v := leaf; v != nil; v = v.Parent() {
+		chain = append(chain, v)
+	}
+	for i := len(chain) - 1; i >= 0; i-- {
+		v := chain[i]
+		for _, op := range v.Ops {
+			if !f(op) {
+				return false
+			}
+		}
+		if v.CJ != nil && fb != nil {
+			if !fb(v.CJ) {
+				return false
+			}
+		}
+	}
+	return true
+}

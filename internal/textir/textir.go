@@ -1,0 +1,284 @@
+// Package textir parses and prints a small textual format for loop
+// specifications, used by cmd/gripc and handy for experiments:
+//
+//	loop dot
+//	livein q
+//	liveout q
+//	trip n
+//	start 0
+//	step 1
+//	body:
+//	  t1 = load Z[k]
+//	  t2 = load X[k+1]
+//	  t3 = mul t1, t2
+//	  q  = add q, t3
+//	  store OUT[k] = q
+//
+// Memory references are Array[k+c], Array[c*k+c0], Array[c] or
+// Array[@var+c] (indirect through a variable). Immediate operands are
+// plain integers: "t = add t, 1".
+package textir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/ir"
+)
+
+// Parse reads a loop spec from r.
+func Parse(r io.Reader) (*ir.LoopSpec, error) {
+	spec := &ir.LoopSpec{Step: 1}
+	sc := bufio.NewScanner(r)
+	inBody := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !inBody {
+			f := strings.Fields(line)
+			switch f[0] {
+			case "loop":
+				if len(f) != 2 {
+					return nil, fmt.Errorf("line %d: loop <name>", lineNo)
+				}
+				spec.Name = f[1]
+			case "livein":
+				spec.LiveIn = append(spec.LiveIn, f[1:]...)
+			case "liveout":
+				spec.LiveOut = append(spec.LiveOut, f[1:]...)
+			case "trip":
+				if len(f) != 2 {
+					return nil, fmt.Errorf("line %d: trip <var>", lineNo)
+				}
+				spec.TripVar = f[1]
+			case "start", "step":
+				if len(f) != 2 {
+					return nil, fmt.Errorf("line %d: %s <int>", lineNo, f[0])
+				}
+				v, err := strconv.ParseInt(f[1], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				if f[0] == "start" {
+					spec.Start = v
+				} else {
+					spec.Step = v
+				}
+			case "body:":
+				inBody = true
+			default:
+				return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, f[0])
+			}
+			continue
+		}
+		op, err := parseBodyOp(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		spec.Body = append(spec.Body, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func parseBodyOp(line string) (ir.BodyOp, error) {
+	// store MEM = var
+	if strings.HasPrefix(line, "store ") {
+		rest := strings.TrimPrefix(line, "store ")
+		parts := strings.SplitN(rest, "=", 2)
+		if len(parts) != 2 {
+			return ir.BodyOp{}, fmt.Errorf("store syntax: store A[k] = var")
+		}
+		mem, err := parseMem(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return ir.BodyOp{}, err
+		}
+		return ir.BStore(mem, strings.TrimSpace(parts[1])), nil
+	}
+	// dst = ...
+	parts := strings.SplitN(line, "=", 2)
+	if len(parts) != 2 {
+		return ir.BodyOp{}, fmt.Errorf("expected assignment")
+	}
+	dst := strings.TrimSpace(parts[0])
+	rhs := strings.TrimSpace(parts[1])
+
+	// dst = load MEM
+	if strings.HasPrefix(rhs, "load ") {
+		mem, err := parseMem(strings.TrimSpace(strings.TrimPrefix(rhs, "load ")))
+		if err != nil {
+			return ir.BodyOp{}, err
+		}
+		return ir.BLoad(dst, mem), nil
+	}
+
+	f := strings.Fields(rhs)
+	// dst = var   (copy)   or   dst = 5 (const is not supported; use add)
+	if len(f) == 1 && !isInt(f[0]) {
+		return ir.BCopy(dst, f[0]), nil
+	}
+	// dst = op a, b
+	if len(f) < 2 {
+		return ir.BodyOp{}, fmt.Errorf("expected: dst = op a, b")
+	}
+	var kind ir.Opcode
+	switch f[0] {
+	case "add":
+		kind = ir.Add
+	case "sub":
+		kind = ir.Sub
+	case "mul":
+		kind = ir.Mul
+	case "div":
+		kind = ir.Div
+	default:
+		return ir.BodyOp{}, fmt.Errorf("unknown op %q", f[0])
+	}
+	args := strings.SplitN(strings.TrimSpace(strings.TrimPrefix(rhs, f[0])), ",", 2)
+	if len(args) != 2 {
+		return ir.BodyOp{}, fmt.Errorf("binary op needs two operands")
+	}
+	a := strings.TrimSpace(args[0])
+	b := strings.TrimSpace(args[1])
+	if isInt(b) {
+		imm, _ := strconv.ParseInt(b, 10, 64)
+		return ir.BodyOp{Kind: kind, Dst: dst, A: a, Imm: imm, UseImm: true}, nil
+	}
+	return ir.BodyOp{Kind: kind, Dst: dst, A: a, B: b}, nil
+}
+
+// parseMem parses Array[expr] where expr is k, k+c, c*k+c0, c, or @var+c.
+func parseMem(s string) (ir.BodyRef, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return ir.BodyRef{}, fmt.Errorf("memory reference %q needs Array[index]", s)
+	}
+	array := s[:open]
+	expr := strings.TrimSpace(s[open+1 : len(s)-1])
+	if array == "" || expr == "" {
+		return ir.BodyRef{}, fmt.Errorf("bad memory reference %q", s)
+	}
+	if strings.HasPrefix(expr, "@") {
+		rest := expr[1:]
+		off := int64(0)
+		name := rest
+		for _, sep := range []string{"+", "-"} {
+			if i := strings.Index(rest, sep); i > 0 {
+				name = rest[:i]
+				v, err := strconv.ParseInt(rest[i:], 10, 64)
+				if err != nil {
+					return ir.BodyRef{}, err
+				}
+				off = v
+				break
+			}
+		}
+		return ir.Ind(array, name, off), nil
+	}
+	// c*k+c0 | k+c | k | c
+	kcoef := int64(0)
+	off := int64(0)
+	e := strings.ReplaceAll(expr, " ", "")
+	if i := strings.Index(e, "k"); i >= 0 {
+		coefStr := strings.TrimSuffix(e[:i], "*")
+		switch coefStr {
+		case "":
+			kcoef = 1
+		case "-":
+			kcoef = -1
+		default:
+			v, err := strconv.ParseInt(coefStr, 10, 64)
+			if err != nil {
+				return ir.BodyRef{}, fmt.Errorf("bad index %q", expr)
+			}
+			kcoef = v
+		}
+		rest := e[i+1:]
+		if rest != "" {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return ir.BodyRef{}, fmt.Errorf("bad index %q", expr)
+			}
+			off = v
+		}
+	} else {
+		v, err := strconv.ParseInt(e, 10, 64)
+		if err != nil {
+			return ir.BodyRef{}, fmt.Errorf("bad index %q", expr)
+		}
+		off = v
+	}
+	return ir.BodyRef{Array: array, KCoef: kcoef, Off: off}, nil
+}
+
+func isInt(s string) bool {
+	_, err := strconv.ParseInt(s, 10, 64)
+	return err == nil
+}
+
+// Print renders a spec in the textual format.
+func Print(w io.Writer, spec *ir.LoopSpec) {
+	fmt.Fprintf(w, "loop %s\n", spec.Name)
+	if len(spec.LiveIn) > 0 {
+		fmt.Fprintf(w, "livein %s\n", strings.Join(spec.LiveIn, " "))
+	}
+	if len(spec.LiveOut) > 0 {
+		fmt.Fprintf(w, "liveout %s\n", strings.Join(spec.LiveOut, " "))
+	}
+	fmt.Fprintf(w, "trip %s\n", spec.TripVar)
+	if spec.Start != 0 {
+		fmt.Fprintf(w, "start %d\n", spec.Start)
+	}
+	fmt.Fprintf(w, "step %d\nbody:\n", spec.Step)
+	for _, op := range spec.Body {
+		fmt.Fprintf(w, "  %s\n", formatBodyOp(op))
+	}
+}
+
+func formatBodyOp(op ir.BodyOp) string {
+	switch op.Kind {
+	case ir.Load:
+		return fmt.Sprintf("%s = load %s", op.Dst, formatMem(op.Mem))
+	case ir.Store:
+		return fmt.Sprintf("store %s = %s", formatMem(op.Mem), op.A)
+	case ir.Copy:
+		return fmt.Sprintf("%s = %s", op.Dst, op.A)
+	default:
+		if op.UseImm {
+			return fmt.Sprintf("%s = %s %s, %d", op.Dst, op.Kind, op.A, op.Imm)
+		}
+		return fmt.Sprintf("%s = %s %s, %s", op.Dst, op.Kind, op.A, op.B)
+	}
+}
+
+func formatMem(m ir.BodyRef) string {
+	switch {
+	case m.IndexVar != "":
+		if m.Off != 0 {
+			return fmt.Sprintf("%s[@%s%+d]", m.Array, m.IndexVar, m.Off)
+		}
+		return fmt.Sprintf("%s[@%s]", m.Array, m.IndexVar)
+	case m.KCoef == 0:
+		return fmt.Sprintf("%s[%d]", m.Array, m.Off)
+	case m.KCoef == 1 && m.Off == 0:
+		return fmt.Sprintf("%s[k]", m.Array)
+	case m.KCoef == 1:
+		return fmt.Sprintf("%s[k%+d]", m.Array, m.Off)
+	case m.Off == 0:
+		return fmt.Sprintf("%s[%d*k]", m.Array, m.KCoef)
+	default:
+		return fmt.Sprintf("%s[%d*k%+d]", m.Array, m.KCoef, m.Off)
+	}
+}

@@ -1,0 +1,87 @@
+package textir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const sample = `
+# inner product with an indirect twist
+loop demo
+livein q
+liveout q
+trip n
+step 1
+body:
+  t1 = load Z[k]
+  t2 = load X[2*k+1]
+  ix = load IX[k]
+  t4 = load P[@ix+2]
+  t3 = mul t1, t2
+  t5 = add t3, t4
+  q  = add q, t5
+  t6 = add q, 7
+  store OUT[k] = t6
+`
+
+func TestParseRoundTrip(t *testing.T) {
+	spec, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Name != "demo" || spec.TripVar != "n" || len(spec.Body) != 9 {
+		t.Fatalf("parsed %+v", spec)
+	}
+	if spec.Body[1].Mem.KCoef != 2 || spec.Body[1].Mem.Off != 1 {
+		t.Fatalf("affine ref parsed as %+v", spec.Body[1].Mem)
+	}
+	if spec.Body[3].Mem.IndexVar != "ix" || spec.Body[3].Mem.Off != 2 {
+		t.Fatalf("indirect ref parsed as %+v", spec.Body[3].Mem)
+	}
+	if !spec.Body[7].UseImm || spec.Body[7].Imm != 7 {
+		t.Fatalf("immediate parsed as %+v", spec.Body[7])
+	}
+
+	var b strings.Builder
+	Print(&b, spec)
+	spec2, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, b.String())
+	}
+	if len(spec2.Body) != len(spec.Body) {
+		t.Fatalf("round trip lost ops:\n%s", b.String())
+	}
+	for i := range spec.Body {
+		if spec.Body[i].Kind != spec2.Body[i].Kind || spec.Body[i].Dst != spec2.Body[i].Dst {
+			t.Fatalf("op %d differs after round trip", i)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"loop x\ntrip n\nbody:\n  t1 = foo a, b\n",
+		"loop x\ntrip n\nbody:\n  t1 = load Z\n",
+		"loop x\nbody:\n  t1 = add a, b\n", // missing trip
+		"loop x\ntrip n\nbody:\n  t1 = add undefined, 3\n",
+		"nonsense directive\n",
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestParseNegativeStride(t *testing.T) {
+	spec, err := Parse(strings.NewReader("loop neg\ntrip n\nbody:\n  a = load X[-k+50]\n  store Y[k] = a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Body[0].Mem.KCoef != -1 || spec.Body[0].Mem.Off != 50 {
+		t.Fatalf("got %+v", spec.Body[0].Mem)
+	}
+	_ = ir.NoReg
+}
