@@ -1,21 +1,31 @@
 // Command table1 regenerates Table 1 of the paper: observed speedups of
 // GRiP and POST on Livermore Loops 1–14 at 2, 4 and 8 functional units,
-// with arithmetic-mean and weighted-harmonic-mean summary rows.
+// with arithmetic-mean and weighted-harmonic-mean summary rows. Cells
+// run through the sched/batch engine; -parallel controls the worker
+// pool and -technique selects any registered backends (the default pair
+// prints the paper's layout, other selections print a generic matrix).
 //
 // Usage:
 //
 //	go run ./cmd/table1 [-fus 2,4,8] [-loops LL1,LL3] [-csv] [-validate]
+//	                    [-parallel N] [-technique grip,post]
+//	                    [-timeout 5m] [-bench-out BENCH_table1.json]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sched/batch"
 )
 
 func main() {
@@ -23,16 +33,17 @@ func main() {
 	loopsFlag := flag.String("loops", "", "comma-separated kernel names (default: all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the paper layout")
 	validate := flag.Bool("validate", false, "also prove scheduled code semantically equivalent")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "batch worker count")
+	technique := flag.String("technique", "grip,post",
+		fmt.Sprintf("comma-separated techniques to run (registered: %s)", strings.Join(sched.Names(), ",")))
+	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none)")
+	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file")
 	flag.Parse()
 
-	var fus []int
-	for _, s := range strings.Split(*fusFlag, ",") {
-		f, err := strconv.Atoi(strings.TrimSpace(s))
-		if err != nil || f < 1 {
-			fmt.Fprintf(os.Stderr, "bad FU count %q\n", s)
-			os.Exit(2)
-		}
-		fus = append(fus, f)
+	fus, err := machine.ParseFUs(*fusFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	kernels := livermore.All()
@@ -48,16 +59,63 @@ func main() {
 		}
 	}
 
-	tbl, err := harness.RunTable1(kernels, fus)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var techniques []string
+	hasGrip, hasPost := false, false
+	for _, t := range strings.Split(*technique, ",") {
+		t = strings.TrimSpace(t)
+		if _, ok := sched.Lookup(t); !ok {
+			fmt.Fprintf(os.Stderr, "unknown technique %q (registered: %s)\n", t, strings.Join(sched.Names(), ","))
+			os.Exit(2)
+		}
+		hasGrip = hasGrip || t == "grip"
+		hasPost = hasPost || t == "post"
+		techniques = append(techniques, t)
 	}
-	if *csv {
-		fmt.Print(tbl.CSV())
+	if *validate && !hasGrip {
+		fmt.Fprintln(os.Stderr, "-validate proves GRiP schedules semantically equivalent; include grip in -technique")
+		os.Exit(2)
+	}
+
+	opts := batch.Options{
+		Parallelism: *parallel,
+		Timeout:     *timeout,
+		Cache:       harness.SharedCache(),
+	}
+
+	start := time.Now()
+	var outcomes []batch.Outcome
+	var runErr error
+	// The grip+post pair (in either order) is the paper's Table 1 and
+	// gets its layout; any other selection prints the generic matrix.
+	if len(techniques) == 2 && hasGrip && hasPost {
+		var tbl *harness.Table
+		tbl, outcomes, runErr = harness.RunTable1Ctx(context.Background(), kernels, fus, opts)
+		if runErr == nil {
+			if *csv {
+				fmt.Print(tbl.CSV())
+			} else {
+				fmt.Println("Table 1: Observed Speed-up (GRiP vs POST)")
+				fmt.Print(tbl.Format())
+			}
+		}
 	} else {
-		fmt.Println("Table 1: Observed Speed-up (GRiP vs POST)")
-		fmt.Print(tbl.Format())
+		outcomes, runErr = runMatrix(kernels, fus, techniques, opts, *csv)
+	}
+	elapsed := time.Since(start)
+
+	// The bench report is written even when cells failed: per-cell
+	// errors land in the cells' Error fields, which is exactly what a
+	// perf-trajectory comparison wants to see.
+	if *benchOut != "" {
+		if err := writeBench(*benchOut, outcomes, *parallel, elapsed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d cells, %.1fs wall)\n", *benchOut, len(outcomes), elapsed.Seconds())
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
 	}
 
 	if *validate {
@@ -71,4 +129,73 @@ func main() {
 			}
 		}
 	}
+}
+
+// writeBench renders the batch outcomes as the JSON bench report.
+func writeBench(path string, outcomes []batch.Outcome, parallelism int, elapsed time.Duration) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	rep := batch.NewBenchReport(outcomes, batch.EffectiveParallelism(parallelism, len(outcomes)), elapsed)
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// runMatrix runs an arbitrary technique selection through the batch
+// engine and prints a generic speedup matrix (loops × FU counts, one
+// column group per technique).
+func runMatrix(kernels []*livermore.Kernel, fus []int, techniques []string, opts batch.Options, csv bool) ([]batch.Outcome, error) {
+	var jobs []batch.Job
+	for _, k := range kernels {
+		for _, f := range fus {
+			for _, tech := range techniques {
+				jobs = append(jobs, batch.Job{
+					Technique: tech, Spec: k.Spec, Machine: machine.New(f), Label: k.Name,
+				})
+			}
+		}
+	}
+	outcomes, err := batch.Run(context.Background(), jobs, opts)
+	if err != nil {
+		return outcomes, err
+	}
+	for _, o := range outcomes {
+		if o.Err != nil {
+			return outcomes, fmt.Errorf("%s %s @%dFU: %w", o.Job.Technique, o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Err)
+		}
+	}
+	if csv {
+		fmt.Println("loop,fus,technique,speedup,cycles_per_iter,converged")
+		for _, o := range outcomes {
+			r := o.Result
+			fmt.Printf("%s,%d,%s,%.3f,%.3f,%v\n",
+				o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Job.Technique,
+				r.Speedup, r.CyclesPerIter, r.Converged)
+		}
+		return outcomes, nil
+	}
+	// Headers and row labels read the outcomes' own job descriptions,
+	// so the layout stays correct under any job-construction order as
+	// long as cells of one loop are contiguous.
+	perRow := len(fus) * len(techniques)
+	fmt.Printf("%-6s", "Loop")
+	for _, o := range outcomes[:perRow] {
+		fmt.Printf(" %9s", fmt.Sprintf("%s@%d", o.Job.Technique, o.Job.Machine.OpSlots))
+	}
+	fmt.Println()
+	for i, o := range outcomes {
+		if i%perRow == 0 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%-6s", o.Job.DisplayName())
+		}
+		fmt.Printf(" %9.2f", o.Result.Speedup)
+	}
+	fmt.Println()
+	return outcomes, nil
 }

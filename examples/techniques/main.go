@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,27 +34,37 @@ func hydro() *grip.Loop {
 }
 
 func main() {
-	fmt.Printf("%-5s %12s %12s %12s %12s\n", "FUs", "list", "modulo", "POST", "GRiP")
-	for _, fus := range []int{1, 2, 4, 8, 16} {
-		m := grip.Machine(fus)
-		loop := hydro()
-
-		ls := grip.ListSchedule(loop, m)
-		mod, err := grip.Modulo(loop, m)
-		if err != nil {
-			log.Fatal(err)
+	// Every technique is a registry backend; the batch engine runs the
+	// whole matrix concurrently and returns outcomes in job order.
+	techniques := []string{"list", "modulo", "post", "grip"}
+	widths := []int{1, 2, 4, 8, 16}
+	spec := hydro() // read-only to the schedulers, safe to share across jobs
+	var jobs []grip.BatchJob
+	for _, fus := range widths {
+		for _, tech := range techniques {
+			jobs = append(jobs, grip.BatchJob{
+				Technique: tech, Spec: spec, Machine: grip.Machine(fus),
+			})
 		}
-		p, err := grip.Post(loop, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		g, err := grip.PerfectPipeline(loop, m)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-5d %12.2f %12.2f %12.2f %12.2f\n",
-			fus, ls.Speedup, mod.Speedup, p.Speedup, g.Speedup)
 	}
+	outcomes, err := grip.Batch(context.Background(), jobs, grip.BatchOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-5s %12s %12s %12s %12s\n", "FUs", "list", "modulo", "POST", "GRiP")
+	for i, o := range outcomes {
+		if o.Err != nil {
+			log.Fatal(o.Err)
+		}
+		if i%len(techniques) == 0 {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Printf("%-5d", o.Job.Machine.OpSlots)
+		}
+		fmt.Printf(" %12.2f", o.Result.Speedup)
+	}
+	fmt.Println()
 	fmt.Println("\nlist   = compaction of one iteration, no overlap")
 	fmt.Println("modulo = overlap with a single integral initiation interval")
 	fmt.Println("POST   = unconstrained pipeline + resource post-pass")

@@ -21,12 +21,16 @@
 package grip
 
 import (
+	"context"
+
 	"repro/internal/ir"
 	"repro/internal/listsched"
 	"repro/internal/machine"
 	"repro/internal/modulo"
 	"repro/internal/pipeline"
 	"repro/internal/post"
+	"repro/internal/sched"
+	"repro/internal/sched/batch"
 )
 
 // Loop describes an innermost counted loop; see ir.LoopSpec.
@@ -112,6 +116,54 @@ func Modulo(loop *Loop, m MachineModel) (*modulo.Result, error) {
 func ListSchedule(loop *Loop, m MachineModel) *listsched.Result {
 	return listsched.Schedule(loop, m)
 }
+
+// SchedResult is the normalized result every registered scheduling
+// backend reports (speedup, cycles/iteration, convergence, kernel
+// shape, barrier count).
+type SchedResult = sched.Result
+
+// SchedBackend is the uniform interface scheduling techniques implement.
+type SchedBackend = sched.Scheduler
+
+// BatchJob is one scheduling request for the batch engine.
+type BatchJob = batch.Job
+
+// BatchOutcome is the per-job result of a batch run, in job order.
+type BatchOutcome = batch.Outcome
+
+// BatchOptions tune a batch run: worker parallelism, per-job timeout,
+// and an optional shared result cache.
+type BatchOptions = batch.Options
+
+// BatchCache is a thread-safe LRU of scheduling results keyed by
+// (technique, loop fingerprint, machine fingerprint).
+type BatchCache = batch.Cache
+
+// Schedulers lists the registered scheduling techniques ("grip",
+// "list", "modulo", "post", ...). Any name it returns is valid for
+// Scheduler, Schedule, and BatchJob.Technique.
+func Schedulers() []string { return sched.Names() }
+
+// Scheduler returns the backend registered under name.
+func Scheduler(name string) (SchedBackend, bool) { return sched.Lookup(name) }
+
+// Schedule runs the named technique for the loop on machine m and
+// returns the normalized result.
+func Schedule(name string, loop *Loop, m MachineModel) (*SchedResult, error) {
+	return sched.Schedule(name, loop, m)
+}
+
+// Batch executes scheduling jobs concurrently through the registry:
+// a worker pool with context cancellation, per-job timeouts, and an
+// optional LRU result cache. Outcomes are returned in job order and are
+// bit-identical to a sequential run — every technique is a pure
+// function of (loop, machine).
+func Batch(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]BatchOutcome, error) {
+	return batch.Run(ctx, jobs, opts)
+}
+
+// NewBatchCache returns an LRU result cache to share across Batch runs.
+func NewBatchCache(capacity int) *BatchCache { return batch.NewCache(capacity) }
 
 // Validate proves a pipelined result semantically equivalent to the
 // original loop on the given inputs, including early-exit trip counts

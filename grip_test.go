@@ -1,6 +1,7 @@
 package grip
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -78,6 +79,65 @@ func TestPublicSimplePipeline(t *testing.T) {
 	}
 	if res.Speedup <= 1 {
 		t.Fatalf("simple pipelining speedup %.2f", res.Speedup)
+	}
+}
+
+// TestPublicRegistryAndBatch drives the registry-facing facade: every
+// listed technique schedules by name, the results match the dedicated
+// entry points, and a batch run with a shared cache dedupes reruns.
+func TestPublicRegistryAndBatch(t *testing.T) {
+	names := Schedulers()
+	if len(names) < 4 {
+		t.Fatalf("Schedulers() = %v", names)
+	}
+	m := Machine(4)
+	for _, name := range names {
+		if _, ok := Scheduler(name); !ok {
+			t.Fatalf("Scheduler(%q) not found", name)
+		}
+		res, err := Schedule(name, dotLoop(), m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Speedup <= 0 || res.Technique != name {
+			t.Errorf("%s: bad result %+v", name, res)
+		}
+	}
+	direct, err := PerfectPipeline(dotLoop(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := Schedule("grip", dotLoop(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Speedup != direct.Speedup || byName.CyclesPerIter != direct.CyclesPerIter {
+		t.Errorf("registry grip %.3f/%.3f != direct %.3f/%.3f",
+			byName.Speedup, byName.CyclesPerIter, direct.Speedup, direct.CyclesPerIter)
+	}
+
+	cache := NewBatchCache(16)
+	jobs := []BatchJob{
+		{Technique: "grip", Spec: dotLoop(), Machine: Machine(2)},
+		{Technique: "post", Spec: dotLoop(), Machine: Machine(2)},
+	}
+	outs, err := Batch(context.Background(), jobs, BatchOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	outs, err = Batch(context.Background(), jobs, BatchOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if !o.CacheHit {
+			t.Errorf("%s rerun missed the shared cache", o.Job.Technique)
+		}
 	}
 }
 

@@ -1,0 +1,81 @@
+package graph
+
+import (
+	"repro/internal/ir"
+)
+
+// Clone deep-copies the graph: every node, vertex, and operation is
+// duplicated (operations keep their IDs, origins, and iteration tags;
+// nodes keep their IDs and order-maintenance keys), and the clone's
+// bookkeeping (predecessor sets, op locations, ID counters) is rebuilt
+// to match. The clone uses alloc for future allocations; pass an
+// independent allocator (ir.Alloc.Clone) so transformations on the
+// clone allocate exactly the IDs the same transformations on the
+// original would — schedulers mutating a clone behave bit-identically
+// to schedulers mutating the original.
+//
+// The returned op map relates original operations to their clones, so
+// callers holding external op lists (e.g. pipeline.Unwound.Ops) can
+// re-point them at the copies.
+func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, map[*ir.Op]*ir.Op) {
+	if alloc == nil {
+		alloc = g.Alloc
+	}
+	ng := &Graph{
+		Alloc:      alloc,
+		nodes:      make(map[*Node]bool, len(g.nodes)),
+		preds:      make(map[*Node]map[*Node]int, len(g.preds)),
+		locs:       make(map[*ir.Op]*Vertex, len(g.locs)),
+		version:    g.version,
+		nextNodeID: g.nextNodeID,
+		maxPos:     g.maxPos,
+	}
+
+	opMap := make(map[*ir.Op]*ir.Op, len(g.locs))
+	cloneOp := func(op *ir.Op) *ir.Op {
+		if op == nil {
+			return nil
+		}
+		if c, ok := opMap[op]; ok {
+			return c
+		}
+		c := *op
+		opMap[op] = &c
+		return &c
+	}
+
+	nodeMap := make(map[*Node]*Node, len(g.nodes))
+	for n := range g.nodes {
+		nodeMap[n] = &Node{ID: n.ID, Drain: n.Drain, pos: n.pos}
+		ng.nodes[nodeMap[n]] = true
+	}
+
+	// Clone each instruction tree; leaf successors are resolved through
+	// nodeMap and predecessor counts rebuilt as edges are recreated.
+	var cloneVertex func(v *Vertex, n *Node, parent *Vertex) *Vertex
+	cloneVertex = func(v *Vertex, n *Node, parent *Vertex) *Vertex {
+		nv := &Vertex{node: n, parent: parent}
+		for _, op := range v.Ops {
+			c := cloneOp(op)
+			nv.Ops = append(nv.Ops, c)
+			ng.locs[c] = nv
+		}
+		if v.CJ != nil {
+			nv.CJ = cloneOp(v.CJ)
+			ng.locs[nv.CJ] = nv
+			nv.True = cloneVertex(v.True, n, nv)
+			nv.False = cloneVertex(v.False, n, nv)
+			return nv
+		}
+		if v.Succ != nil {
+			nv.Succ = nodeMap[v.Succ]
+			ng.link(n, nv.Succ)
+		}
+		return nv
+	}
+	for n := range g.nodes {
+		nodeMap[n].Root = cloneVertex(n.Root, nodeMap[n], nil)
+	}
+	ng.Entry = nodeMap[g.Entry]
+	return ng, opMap
+}

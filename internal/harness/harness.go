@@ -2,9 +2,18 @@
 // over the Livermore loops at 2/4/8 functional units, with mean and
 // weighted-harmonic-mean summary rows) plus per-cell semantic validation
 // and analytic-bound cross-checks.
+//
+// All cells run through the sched registry and the sched/batch engine:
+// the table is a job matrix executed by a worker pool, and a
+// process-wide result cache makes revisited cells (summary reruns,
+// validation passes, bench sweeps) free. Cell values are independent of
+// worker count and execution order — every technique is a pure function
+// of (loop, machine) — so parallel runs are bit-identical to
+// sequential ones.
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,8 +21,22 @@ import (
 	"repro/internal/livermore"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
-	"repro/internal/post"
+	"repro/internal/sched/batch"
 )
+
+// defaultCache is shared by every harness entry point in the process,
+// so a cell scheduled for the table is not re-scheduled for validation
+// or a bench rerun. Entries pin their Raw scheduling results (the full
+// unwound graph, roughly a megabyte for the widest cells), so the
+// capacity is sized to the working set — the full Table 1 is 84 cells
+// — rather than made generous; see ROADMAP for the two-tier design
+// that would keep metrics cheap and graphs scarce.
+var defaultCache = batch.NewCache(128)
+
+// SharedCache returns the process-wide result cache the harness runs
+// against; commands can pass it to their own batch runs to share work
+// with table runs.
+func SharedCache() *batch.Cache { return defaultCache }
 
 // Cell is one Table 1 cell pair.
 type Cell struct {
@@ -37,58 +60,114 @@ type Table struct {
 	WHMRow  []Cell
 }
 
-// RunCell measures one loop at one FU count with both techniques.
-func RunCell(k *livermore.Kernel, fus int) (Cell, error) {
+// cellJobs returns the two jobs (GRiP, POST) of one Table 1 cell.
+func cellJobs(k *livermore.Kernel, fus int) []batch.Job {
 	m := machine.New(fus)
-	cfg := pipeline.DefaultConfig(m)
-	g, err := pipeline.PerfectPipeline(k.Spec, cfg)
-	if err != nil {
-		return Cell{}, fmt.Errorf("%s @%dFU grip: %w", k.Name, fus, err)
+	return []batch.Job{
+		{Technique: "grip", Spec: k.Spec, Machine: m, Label: k.Name},
+		{Technique: "post", Spec: k.Spec, Machine: m, Label: k.Name},
 	}
-	p, err := post.Pipeline(k.Spec, cfg)
-	if err != nil {
-		return Cell{}, fmt.Errorf("%s @%dFU post: %w", k.Name, fus, err)
+}
+
+// cellOf assembles a Cell from the cell's two outcomes (grip first).
+func cellOf(k *livermore.Kernel, fus int, grip, post batch.Outcome) (Cell, error) {
+	if grip.Err != nil {
+		return Cell{}, fmt.Errorf("%s @%dFU grip: %w", k.Name, fus, grip.Err)
+	}
+	if post.Err != nil {
+		return Cell{}, fmt.Errorf("%s @%dFU post: %w", k.Name, fus, post.Err)
 	}
 	info := deps.Analyze(k.Spec)
 	bound := float64(k.Spec.SeqOpsPerIter()) / info.RateBound(k.Spec.SeqOpsPerIter()-1, fus)
 	return Cell{
-		Grip: g.Speedup, Post: p.Speedup,
-		GripConv: g.Converged, PostConv: p.Converged,
+		Grip: grip.Result.Speedup, Post: post.Result.Speedup,
+		GripConv: grip.Result.Converged, PostConv: post.Result.Converged,
 		Bound:    bound,
-		Barriers: g.Stats.ResourceBarriers,
+		Barriers: grip.Result.Barriers,
 	}, nil
 }
 
-// ValidateCell re-runs the GRiP pipeline for a cell and proves the
-// scheduled code semantically equivalent to the original loop on the
-// kernel's workload, for full and early-exit trip counts.
+// RunCell measures one loop at one FU count with both techniques.
+func RunCell(k *livermore.Kernel, fus int) (Cell, error) {
+	outs, err := batch.Run(context.Background(), cellJobs(k, fus),
+		batch.Options{Cache: defaultCache})
+	if err != nil {
+		return Cell{}, err
+	}
+	return cellOf(k, fus, outs[0], outs[1])
+}
+
+// ValidateCell runs the GRiP pipeline for a cell (through the shared
+// cache, so a cell already scheduled for the table costs nothing) and
+// proves the scheduled code semantically equivalent to the original
+// loop on the kernel's workload, for full and early-exit trip counts.
 func ValidateCell(k *livermore.Kernel, fus int) error {
-	cfg := pipeline.DefaultConfig(machine.New(fus))
-	res, err := pipeline.PerfectPipeline(k.Spec, cfg)
+	outs, err := batch.Run(context.Background(),
+		[]batch.Job{{Technique: "grip", Spec: k.Spec, Machine: machine.New(fus), Label: k.Name}},
+		batch.Options{Cache: defaultCache})
 	if err != nil {
 		return err
 	}
+	if outs[0].Err != nil {
+		return outs[0].Err
+	}
+	// Clone before validating: cached results are shared read-only, and
+	// simulation setup (InitState) allocates array IDs on the result's
+	// allocator.
+	res := outs[0].Result.Raw.(*pipeline.Result).Clone()
 	u := int64(res.U)
 	trips := []int64{k.Spec.Start + 1, k.Spec.Start + u/3, k.Spec.Start + u}
 	return pipeline.ValidateSemantics(res, k.Vars, k.Arrays(res.U+16), trips)
 }
 
-// RunTable1 reproduces Table 1 for the given kernels and FU counts.
+// RunTable1 reproduces Table 1 for the given kernels and FU counts with
+// the default batch options (GOMAXPROCS workers, shared cache).
 func RunTable1(kernels []*livermore.Kernel, fus []int) (*Table, error) {
-	t := &Table{FUs: fus}
+	t, _, err := RunTable1Ctx(context.Background(), kernels, fus, batch.Options{})
+	return t, err
+}
+
+// RunTable1Ctx reproduces Table 1 through the batch engine: one job per
+// (kernel, FU count, technique) cell half, executed by a worker pool.
+// The outcomes (in job order: kernels outermost, FU counts inner,
+// grip before post) are returned alongside the table for bench
+// reporting. A nil opts.Cache uses the process-wide shared cache.
+func RunTable1Ctx(ctx context.Context, kernels []*livermore.Kernel, fus []int, opts batch.Options) (*Table, []batch.Outcome, error) {
+	if opts.Cache == nil {
+		opts.Cache = defaultCache
+	}
+	var jobs []batch.Job
 	for _, k := range kernels {
+		for _, f := range fus {
+			jobs = append(jobs, cellJobs(k, f)...)
+		}
+	}
+	outcomes, err := batch.Run(ctx, jobs, opts)
+	if err != nil {
+		return nil, outcomes, err
+	}
+	t := &Table{FUs: fus}
+	for ki, k := range kernels {
 		t.Names = append(t.Names, k.Name)
 		t.SeqOps = append(t.SeqOps, k.Spec.SeqOpsPerIter())
 		row := make([]Cell, len(fus))
 		for fi, f := range fus {
-			c, err := RunCell(k, f)
+			base := (ki*len(fus) + fi) * 2
+			c, err := cellOf(k, f, outcomes[base], outcomes[base+1])
 			if err != nil {
-				return nil, err
+				return nil, outcomes, err
 			}
 			row[fi] = c
 		}
 		t.Cells = append(t.Cells, row)
 	}
+	t.summarize()
+	return t, outcomes, nil
+}
+
+// summarize fills the arithmetic-mean and weighted-harmonic-mean rows.
+func (t *Table) summarize() {
+	fus := t.FUs
 	t.MeanRow = make([]Cell, len(fus))
 	t.WHMRow = make([]Cell, len(fus))
 	for fi := range fus {
@@ -107,7 +186,6 @@ func RunTable1(kernels []*livermore.Kernel, fus []int) (*Table, error) {
 		t.MeanRow[fi] = Cell{Grip: sumG / n, Post: sumP / n}
 		t.WHMRow[fi] = Cell{Grip: whgNum / whgDen, Post: whgNum / whpDen}
 	}
-	return t, nil
 }
 
 // Format renders the table in the paper's layout.

@@ -1,10 +1,12 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/livermore"
+	"repro/internal/sched/batch"
 )
 
 // TestTable1ShapeProperties reproduces Table 1 and asserts the paper's
@@ -69,6 +71,67 @@ func TestTable1ShapeProperties(t *testing.T) {
 	csv := tbl.CSV()
 	if !strings.Contains(csv, "LL3,4,") {
 		t.Errorf("CSV missing expected row")
+	}
+}
+
+// TestParallelTableBitIdentical runs a Table 1 slice with four workers
+// and then sequentially, with a fresh result cache for each run, and
+// requires every cell to be bit-identical — the acceptance criterion
+// for moving the harness onto the batch engine. The parallel pass runs
+// first so that (on a fresh test binary, e.g. CI's -short -race run)
+// POST phase-1 results are computed by concurrent workers rather than
+// replayed from the process-global phase-1 memo, which result caches
+// cannot isolate.
+func TestParallelTableBitIdentical(t *testing.T) {
+	kernels := []*livermore.Kernel{
+		livermore.ByName("LL1"), livermore.ByName("LL3"), livermore.ByName("LL5"),
+	}
+	fus := []int{2, 4}
+	par, _, err := RunTable1Ctx(context.Background(), kernels, fus,
+		batch.Options{Parallelism: 4, Cache: batch.NewCache(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, err := RunTable1Ctx(context.Background(), kernels, fus,
+		batch.Options{Parallelism: 1, Cache: batch.NewCache(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li := range seq.Cells {
+		for fi := range seq.Cells[li] {
+			if seq.Cells[li][fi] != par.Cells[li][fi] {
+				t.Errorf("%s @%dFU: sequential %+v != parallel %+v",
+					seq.Names[li], fus[fi], seq.Cells[li][fi], par.Cells[li][fi])
+			}
+		}
+	}
+}
+
+// TestSharedCacheMakesRerunsFree reruns a cell through the shared cache
+// and requires the second pass to be all cache hits.
+func TestSharedCacheMakesRerunsFree(t *testing.T) {
+	kernels := []*livermore.Kernel{livermore.ByName("LL3")}
+	cache := batch.NewCache(64)
+	opts := batch.Options{Cache: cache}
+	first, _, err := RunTable1Ctx(context.Background(), kernels, []int{2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, outs, err := RunTable1Ctx(context.Background(), kernels, []int{2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outs {
+		if !o.CacheHit {
+			t.Errorf("%s %s: rerun missed the cache", o.Job.Technique, o.Job.DisplayName())
+		}
+	}
+	second, _, err := RunTable1Ctx(context.Background(), kernels, []int{2}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cells[0][0] != second.Cells[0][0] {
+		t.Errorf("cached cell differs: %+v != %+v", first.Cells[0][0], second.Cells[0][0])
 	}
 }
 

@@ -1,0 +1,63 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Fingerprint returns a canonical content hash of the loop spec. Two
+// specs with identical scheduling-relevant content (body, counter,
+// live-in/live-out interface) fingerprint identically regardless of
+// pointer identity, so the fingerprint can key result caches across
+// runs. The Name participates: kernels are identified by name in
+// reports, and two same-bodied loops under different names are
+// different table rows.
+func (s *LoopSpec) Fingerprint() string {
+	var b strings.Builder
+	// Every identifier is %q-quoted so the encoding is unambiguous:
+	// names are arbitrary tokens, and bare delimiters would let e.g.
+	// LiveIn ["a,b"] collide with ["a", "b"].
+	fmt.Fprintf(&b, "loop|%q|start=%d|step=%d|trip=%q", s.Name, s.Start, s.Step, s.TripVar)
+	b.WriteString("|in=")
+	for _, v := range s.LiveIn {
+		fmt.Fprintf(&b, "%q,", v)
+	}
+	b.WriteString("|out=")
+	for _, v := range s.LiveOut {
+		fmt.Fprintf(&b, "%q,", v)
+	}
+	for _, op := range s.Body {
+		fmt.Fprintf(&b, "|%d;%q;%q;%q;%d;%t;%q;%d;%d;%q",
+			op.Kind, op.Dst, op.A, op.B, op.Imm, op.UseImm,
+			op.Mem.Array, op.Mem.KCoef, op.Mem.Off, op.Mem.IndexVar)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// Clone returns an independent copy of the allocator: subsequent
+// allocations on the clone and the original diverge without affecting
+// each other. Used when deep-copying a program graph so that each copy
+// keeps allocating deterministically from the same point.
+func (a *Alloc) Clone() *Alloc {
+	c := &Alloc{
+		nextReg:   a.nextReg,
+		nextArray: a.nextArray,
+		nextOp:    a.nextOp,
+		regNames:  make(map[Reg]string, len(a.regNames)),
+		arrNames:  make(map[Array]string, len(a.arrNames)),
+		arrByName: make(map[string]Array, len(a.arrByName)),
+	}
+	for k, v := range a.regNames {
+		c.regNames[k] = v
+	}
+	for k, v := range a.arrNames {
+		c.arrNames[k] = v
+	}
+	for k, v := range a.arrByName {
+		c.arrByName[k] = v
+	}
+	return c
+}

@@ -1,0 +1,58 @@
+package ir
+
+import "testing"
+
+func fpLoop() *LoopSpec {
+	return &LoopSpec{
+		Name: "fp",
+		Body: []BodyOp{
+			BLoad("t", Aff("A", 1, 0)),
+			BAdd("q", "q", "t"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"q"}, LiveOut: []string{"q"},
+	}
+}
+
+func TestFingerprintDeterministicAndContentBased(t *testing.T) {
+	a, b := fpLoop(), fpLoop()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical specs fingerprint differently")
+	}
+	for _, mutate := range []func(*LoopSpec){
+		func(s *LoopSpec) { s.Name = "other" },
+		func(s *LoopSpec) { s.Start = 5 },
+		func(s *LoopSpec) { s.Step = 2 },
+		func(s *LoopSpec) { s.TripVar = "m" },
+		func(s *LoopSpec) { s.LiveIn = nil },
+		func(s *LoopSpec) { s.LiveOut = nil },
+		func(s *LoopSpec) { s.Body[1] = BSub("q", "q", "t") },
+		func(s *LoopSpec) { s.Body[0].Mem.Off = 3 },
+		func(s *LoopSpec) { s.Body = s.Body[:1] },
+	} {
+		m := fpLoop()
+		mutate(m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Errorf("mutation did not change the fingerprint: %+v", m)
+		}
+	}
+}
+
+// TestFingerprintDelimiterInjection checks that identifiers containing
+// the join delimiters cannot forge another spec's preimage.
+func TestFingerprintDelimiterInjection(t *testing.T) {
+	a := fpLoop()
+	a.LiveIn = []string{"a,b"}
+	b := fpLoop()
+	b.LiveIn = []string{"a", "b"}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error(`LiveIn ["a,b"] collides with ["a","b"]`)
+	}
+	c := fpLoop()
+	c.Name = `x"|start=9`
+	d := fpLoop()
+	d.Name = "x"
+	d.Start = 9
+	if c.Fingerprint() == d.Fingerprint() {
+		t.Error("name containing delimiters forged the counter fields")
+	}
+}

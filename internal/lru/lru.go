@@ -1,0 +1,92 @@
+// Package lru implements the minimal thread-safe LRU map shared by the
+// scheduling caches (batch results, POST phase-1 memo).
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// Cache is a fixed-capacity LRU map safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recently used
+	items    map[K]*list.Element
+}
+
+// New returns a cache holding up to capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value under key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put stores value under key (overwriting any existing entry), evicting
+// the least recently used entry when over capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	c.evict()
+}
+
+// GetOrPut returns the existing value under key if present (marking it
+// most recently used), otherwise inserts val and returns it. Used by
+// compute-on-miss callers that want the first stored value to win when
+// two goroutines computed the same key concurrently.
+func (c *Cache[K, V]) GetOrPut(key K, val V) V {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val
+	}
+	c.items[key] = c.order.PushFront(&entry[K, V]{key: key, val: val})
+	c.evict()
+	return val
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// evict drops least-recently-used entries down to capacity; callers
+// hold the lock.
+func (c *Cache[K, V]) evict() {
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*entry[K, V]).key)
+	}
+}

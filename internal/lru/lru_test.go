@@ -1,0 +1,48 @@
+package lru
+
+import "testing"
+
+func TestGetPutEvict(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was refreshed)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a evicted despite recent use")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+	c.Put("a", 10) // overwrite
+	if v, _ := c.Get("a"); v != 10 {
+		t.Errorf("overwrite lost: %d", v)
+	}
+}
+
+func TestGetOrPutFirstWins(t *testing.T) {
+	c := New[string, int](4)
+	if got := c.GetOrPut("k", 1); got != 1 {
+		t.Fatalf("first GetOrPut = %d", got)
+	}
+	if got := c.GetOrPut("k", 2); got != 1 {
+		t.Errorf("second GetOrPut = %d, want first value 1", got)
+	}
+}
+
+func TestZeroCapacityClamped(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	if _, ok := c.Get(1); !ok {
+		t.Error("capacity-0 cache unusable")
+	}
+	c.Put(2, 2)
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}

@@ -12,7 +12,11 @@
 // to unconstrained pipelining techniques.
 package machine
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Unlimited marks a resource with no limit.
 const Unlimited = -1
@@ -63,6 +67,27 @@ func (m Machine) FitsBranches(n int) bool {
 
 // InfiniteOps reports whether the machine has unlimited functional units.
 func (m Machine) InfiniteOps() bool { return m.OpSlots == Unlimited }
+
+// ParseFUs parses a comma-separated list of functional-unit counts
+// ("2,4,8"), the format the CLI -fus flags accept. Every count must be
+// a positive integer.
+func ParseFUs(s string) ([]int, error) {
+	var fus []int
+	for _, part := range strings.Split(s, ",") {
+		f, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || f < 1 {
+			return nil, fmt.Errorf("bad FU count %q", part)
+		}
+		fus = append(fus, f)
+	}
+	return fus, nil
+}
+
+// Fingerprint returns a canonical key for the machine configuration,
+// suitable for composing scheduling-result cache keys.
+func (m Machine) Fingerprint() string {
+	return fmt.Sprintf("m|ops=%d|br=%d", m.OpSlots, m.BranchSlots)
+}
 
 // String describes the machine.
 func (m Machine) String() string {

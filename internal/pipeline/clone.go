@@ -1,0 +1,70 @@
+package pipeline
+
+import (
+	"repro/internal/ir"
+)
+
+// Clone deep-copies the unwound program: the allocator, the operation
+// list, and (when built) the scheduled graph. The clone is fully
+// independent — transformations applied to it allocate the same IDs and
+// produce the same schedules as if they had been applied to the
+// original, so a scheduling phase computed once can be reused as the
+// starting point of several mutating post-passes (POST's phase 1).
+func (u *Unwound) Clone() *Unwound {
+	c := &Unwound{
+		Spec:         u.Spec,
+		U:            u.U,
+		Alloc:        u.Alloc.Clone(),
+		LiveIn:       make(map[string]ir.Reg, len(u.LiveIn)),
+		LiveOut:      make(map[string]ir.Reg, len(u.LiveOut)),
+		ExitLive:     make(map[ir.Reg]bool, len(u.ExitLive)),
+		liveOutNames: append([]string(nil), u.liveOutNames...),
+		removed:      u.removed,
+	}
+	for k, v := range u.LiveIn {
+		c.LiveIn[k] = v
+	}
+	for k, v := range u.LiveOut {
+		c.LiveOut[k] = v
+	}
+	for k, v := range u.ExitLive {
+		c.ExitLive[k] = v
+	}
+	for _, snap := range u.epilogues {
+		c.epilogues = append(c.epilogues, append([]ir.Reg(nil), snap...))
+	}
+	if u.G == nil {
+		for _, op := range u.Ops {
+			d := *op
+			c.Ops = append(c.Ops, &d)
+		}
+		return c
+	}
+	g, opMap := u.G.Clone(c.Alloc)
+	c.G = g
+	for _, op := range u.Ops {
+		if m, ok := opMap[op]; ok {
+			c.Ops = append(c.Ops, m)
+			continue
+		}
+		// Ops removed from the graph by optimization keep plain copies.
+		d := *op
+		c.Ops = append(c.Ops, &d)
+	}
+	return c
+}
+
+// Clone deep-copies the result, including the unwound program and its
+// scheduled graph, so the copy can be mutated (re-scheduled, broken,
+// refilled) without touching the original.
+func (r *Result) Clone() *Result {
+	c := *r
+	if r.Kernel != nil {
+		k := *r.Kernel
+		c.Kernel = &k
+	}
+	if r.Unwound != nil {
+		c.Unwound = r.Unwound.Clone()
+	}
+	return &c
+}

@@ -31,13 +31,32 @@ const refillWindow = 3
 // refills locally. The returned result carries the post-pass schedule's
 // kernel metrics.
 func Pipeline(spec *ir.LoopSpec, cfg pipeline.Config) (*pipeline.Result, error) {
-	target := cfg.Machine
-	phase1 := cfg
-	phase1.Machine = machine.Infinite().WithBranchSlots(target.BranchSlots)
-	res, err := pipeline.PerfectPipeline(spec, phase1)
+	res, err := pipeline.PerfectPipeline(spec, Phase1Config(cfg))
 	if err != nil {
 		return nil, err
 	}
+	return From(res, cfg)
+}
+
+// Phase1Config returns the unconstrained configuration POST's first
+// phase schedules against: cfg with the functional-unit limit removed
+// (branch slots are kept — they bound iteration retirement, not
+// functional-unit packing). The phase-1 schedule depends only on the
+// loop and this configuration, not on the eventual target width, which
+// is what makes phase-1 results shareable across target machines.
+func Phase1Config(cfg pipeline.Config) pipeline.Config {
+	cfg.Machine = machine.Infinite().WithBranchSlots(cfg.Machine.BranchSlots)
+	return cfg
+}
+
+// From applies POST's resource post-pass (break over-wide nodes, refill
+// locally) to a phase-1 result produced with Phase1Config(cfg). It
+// mutates res.Unwound in place and returns a result measured on the
+// post-pass schedule; callers reusing one phase-1 result for several
+// targets must pass fresh deep copies (pipeline.Result.Clone).
+func From(res *pipeline.Result, cfg pipeline.Config) (*pipeline.Result, error) {
+	target := cfg.Machine
+	spec := res.Spec
 
 	uw := res.Unwound
 	g := uw.G

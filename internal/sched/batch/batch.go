@@ -1,0 +1,196 @@
+// Package batch executes scheduling jobs against the sched registry
+// concurrently: a worker pool with configurable parallelism, context
+// cancellation, per-job timeouts, and an LRU result cache keyed by a
+// canonical fingerprint of (loop spec, machine, technique), so repeated
+// cells — bench reruns, Table 1 summary recomputations, validation
+// passes — cost nothing.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+)
+
+// Job is one scheduling request: run Technique for Spec on Machine.
+type Job struct {
+	Technique string
+	Spec      *ir.LoopSpec
+	Machine   machine.Machine
+	// Label is a display name for reports (e.g. the Livermore kernel
+	// name); it does not participate in the cache key. Empty means the
+	// spec's own name.
+	Label string
+}
+
+// DisplayName returns the job's label, falling back to the spec name.
+func (j Job) DisplayName() string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return j.Spec.Name
+}
+
+// Key returns the job's canonical cache key. Every backend runs its
+// paper-default configuration, so (technique, loop, machine) is the
+// whole identity of a job; when per-job configuration overrides land
+// (see ROADMAP), their fingerprint joins the key.
+func (j Job) Key() string {
+	return j.Technique + "|" + j.Spec.Fingerprint() + "|" + j.Machine.Fingerprint()
+}
+
+// Outcome is the result of one job. Outcomes are returned in job order
+// regardless of execution order, so batch output is deterministic.
+type Outcome struct {
+	Job      Job
+	Result   *sched.Result
+	Err      error
+	Wall     time.Duration
+	CacheHit bool
+}
+
+// Options tune a batch run.
+type Options struct {
+	// Parallelism is the worker count; 0 means GOMAXPROCS.
+	Parallelism int
+	// Timeout bounds each job's wall time; 0 means no limit. A job that
+	// exceeds it fails with context.DeadlineExceeded. The underlying
+	// scheduler goroutine is abandoned (the techniques are pure CPU
+	// functions with no cancellation points) and its result discarded.
+	Timeout time.Duration
+	// Cache, when set, is consulted before running a job and updated
+	// after a success. Callers can share one cache across batches.
+	// There is no single-flight dedup: identical jobs in flight at the
+	// same time each compute (deterministically identical) results and
+	// the last one wins; dedupe duplicate jobs before submitting if
+	// that cost matters.
+	Cache *Cache
+}
+
+// Run executes the jobs and returns one outcome per job, in job order.
+// Cancelling ctx stops dispatching new jobs; jobs not yet started fail
+// with ctx.Err(). The returned error is ctx.Err() when the run was cut
+// short — some job was skipped or interrupted by the context — and nil
+// otherwise, even if ctx expires after the last job finished. Per-job
+// failures are reported in the outcomes, not the run error, so one
+// diverging cell doesn't hide the rest.
+func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
+	workers := EffectiveParallelism(opts.Parallelism, len(jobs))
+	outcomes := make([]Outcome, len(jobs))
+	var cut atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = runOne(ctx, jobs[i], opts, &cut)
+			}
+		}()
+	}
+dispatch:
+	for i := range jobs {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Indices >= i were never handed to a worker; fail them here.
+			cut.Store(true)
+			for j := i; j < len(jobs); j++ {
+				outcomes[j] = Outcome{Job: jobs[j], Err: ctx.Err()}
+			}
+			break dispatch
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if cut.Load() {
+		return outcomes, ctx.Err()
+	}
+	return outcomes, nil
+}
+
+// EffectiveParallelism returns the worker count Run actually uses when
+// p is requested for a batch of n jobs: 0 or negative means GOMAXPROCS,
+// and the count never exceeds the job count. Bench reports should
+// record this, not the raw flag value.
+func EffectiveParallelism(p, n int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	return p
+}
+
+func runOne(ctx context.Context, j Job, opts Options, cut *atomic.Bool) Outcome {
+	out := Outcome{Job: j}
+	if err := ctx.Err(); err != nil {
+		cut.Store(true)
+		out.Err = err
+		return out
+	}
+	var key string
+	if opts.Cache != nil {
+		key = j.Key()
+		if r, ok := opts.Cache.Get(key); ok {
+			out.Result = r
+			out.CacheHit = true
+			return out
+		}
+	}
+	s, ok := sched.Lookup(j.Technique)
+	if !ok {
+		out.Err = fmt.Errorf("batch: unknown technique %q (have %v)", j.Technique, sched.Names())
+		return out
+	}
+	start := time.Now()
+	out.Result, out.Err = schedule(ctx, s, j, opts.Timeout, cut)
+	out.Wall = time.Since(start)
+	if out.Err == nil && opts.Cache != nil {
+		opts.Cache.Put(key, out.Result)
+	}
+	return out
+}
+
+// schedule runs one job, bounded by the per-job timeout and the batch
+// context. Without either bound it calls the scheduler directly; with a
+// bound the scheduler runs in its own goroutine and an expiry abandons
+// it (documented in Options.Timeout).
+func schedule(ctx context.Context, s sched.Scheduler, j Job, timeout time.Duration, cut *atomic.Bool) (*sched.Result, error) {
+	if timeout <= 0 && ctx.Done() == nil {
+		return s.Schedule(j.Spec, j.Machine)
+	}
+	type reply struct {
+		res *sched.Result
+		err error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		res, err := s.Schedule(j.Spec, j.Machine)
+		ch <- reply{res, err}
+	}()
+	var expiry <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expiry = t.C
+	}
+	select {
+	case r := <-ch:
+		return r.res, r.err
+	case <-expiry:
+		return nil, fmt.Errorf("batch: %s on %s: %w", j.Technique, j.Spec.Name, context.DeadlineExceeded)
+	case <-ctx.Done():
+		cut.Store(true)
+		return nil, ctx.Err()
+	}
+}

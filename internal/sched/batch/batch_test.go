@@ -1,0 +1,316 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/sched"
+	"repro/internal/sched/batch"
+)
+
+func tinyLoop(name string) *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: name,
+		Body: []ir.BodyOp{
+			ir.BLoad("t", ir.Aff("A", 1, 0)),
+			ir.BStore(ir.Aff("B", 1, 0), "t"),
+		},
+		Step: 1, TripVar: "n",
+	}
+}
+
+// stubScheduler counts calls and optionally blocks until released.
+type stubScheduler struct {
+	name  string
+	calls atomic.Int64
+	gate  chan struct{} // nil = return immediately
+}
+
+func (s *stubScheduler) Name() string { return s.name }
+
+func (s *stubScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*sched.Result, error) {
+	s.calls.Add(1)
+	if s.gate != nil {
+		<-s.gate
+	}
+	return &sched.Result{Technique: s.name, Loop: spec.Name, Speedup: 1, Converged: true}, nil
+}
+
+var registerOnce sync.Once
+var countStub = &stubScheduler{name: "test-count"}
+var blockStub = &stubScheduler{name: "test-block", gate: make(chan struct{})}
+
+func stubs() {
+	registerOnce.Do(func() {
+		sched.Register(countStub)
+		sched.Register(blockStub)
+	})
+}
+
+func TestRunOrderAndResults(t *testing.T) {
+	var jobs []batch.Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, batch.Job{
+			Technique: "list", Spec: tinyLoop(fmt.Sprintf("l%d", i)), Machine: machine.New(2),
+		})
+	}
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(jobs) {
+		t.Fatalf("got %d outcomes for %d jobs", len(outs), len(jobs))
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Job.Spec.Name != fmt.Sprintf("l%d", i) {
+			t.Errorf("outcome %d belongs to job %s: order not preserved", i, o.Job.Spec.Name)
+		}
+		if o.Result == nil || o.Result.Speedup <= 0 {
+			t.Errorf("job %d: bad result %+v", i, o.Result)
+		}
+	}
+}
+
+func TestUnknownTechniqueFailsJobOnly(t *testing.T) {
+	jobs := []batch.Job{
+		{Technique: "no-such", Spec: tinyLoop("a"), Machine: machine.New(2)},
+		{Technique: "list", Spec: tinyLoop("b"), Machine: machine.New(2)},
+	}
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Err == nil {
+		t.Error("unknown technique did not fail")
+	}
+	if outs[1].Err != nil {
+		t.Errorf("healthy job failed: %v", outs[1].Err)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	stubs()
+	countStub.calls.Store(0)
+	cache := batch.NewCache(8)
+	job := batch.Job{Technique: "test-count", Spec: tinyLoop("cached"), Machine: machine.New(2)}
+
+	outs, err := batch.Run(context.Background(), []batch.Job{job}, batch.Options{Cache: cache})
+	if err != nil || outs[0].Err != nil {
+		t.Fatalf("first run: %v %v", err, outs[0].Err)
+	}
+	if outs[0].CacheHit {
+		t.Error("first run reported a cache hit")
+	}
+	outs, err = batch.Run(context.Background(), []batch.Job{job, job}, batch.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if !o.CacheHit {
+			t.Errorf("rerun job %d missed the cache", i)
+		}
+	}
+	if got := countStub.calls.Load(); got != 1 {
+		t.Errorf("scheduler ran %d times; cache should have held it to 1", got)
+	}
+	hits, misses := cache.Stats()
+	if hits != 2 || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 2/1", hits, misses)
+	}
+
+	// A different machine is a different key.
+	other := job
+	other.Machine = machine.New(4)
+	outs, _ = batch.Run(context.Background(), []batch.Job{other}, batch.Options{Cache: cache})
+	if outs[0].CacheHit {
+		t.Error("different machine hit the cache")
+	}
+	if got := countStub.calls.Load(); got != 2 {
+		t.Errorf("scheduler ran %d times, want 2", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := batch.NewCache(2)
+	r := &sched.Result{}
+	c.Put("a", r)
+	c.Put("b", r)
+	if _, ok := c.Get("a"); !ok { // refresh a
+		t.Fatal("a missing")
+	}
+	c.Put("c", r) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c missing")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	a := batch.Job{Technique: "list", Spec: tinyLoop("cfg"), Machine: machine.New(2)}
+	b := a
+	b.Machine = machine.New(4)
+	c := a
+	c.Technique = "grip"
+	d := a
+	d.Spec = tinyLoop("other")
+	if a.Key() == b.Key() || a.Key() == c.Key() || a.Key() == d.Key() {
+		t.Error("machine, technique, or spec did not change the cache key")
+	}
+	e := a
+	e.Label = "display-only"
+	if a.Key() != e.Key() {
+		t.Error("Label leaked into the cache key")
+	}
+}
+
+func TestCancellationMidBatch(t *testing.T) {
+	stubs()
+	ctx, cancel := context.WithCancel(context.Background())
+	var jobs []batch.Job
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, batch.Job{
+			Technique: "test-block", Spec: tinyLoop(fmt.Sprintf("c%d", i)), Machine: machine.New(2),
+		})
+	}
+	done := make(chan struct{})
+	var outs []batch.Outcome
+	var runErr error
+	go func() {
+		outs, runErr = batch.Run(ctx, jobs, batch.Options{Parallelism: 2})
+		close(done)
+	}()
+	// Workers are parked inside the blocked stub; cancel must unwedge
+	// the whole batch without releasing the stub.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch did not return after cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Errorf("run error = %v, want context.Canceled", runErr)
+	}
+	cancelled := 0
+	for _, o := range outs {
+		if errors.Is(o.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no job reported cancellation")
+	}
+}
+
+func TestPerJobTimeout(t *testing.T) {
+	stubs()
+	jobs := []batch.Job{
+		{Technique: "test-block", Spec: tinyLoop("slow"), Machine: machine.New(2)},
+		{Technique: "list", Spec: tinyLoop("fast"), Machine: machine.New(2)},
+	}
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: 2, Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(outs[0].Err, context.DeadlineExceeded) {
+		t.Errorf("slow job error = %v, want DeadlineExceeded", outs[0].Err)
+	}
+	if outs[1].Err != nil {
+		t.Errorf("fast job failed: %v", outs[1].Err)
+	}
+}
+
+// TestParallelBitIdentical runs a real Table-1-style matrix across all
+// four techniques sequentially and with four workers and requires
+// identical results — the scheduling backends are pure functions, so
+// execution order must not leak into the cells. Run with -race in CI,
+// this also exercises the engine and the POST phase-1 memo for data
+// races.
+func TestParallelBitIdentical(t *testing.T) {
+	loop := &ir.LoopSpec{
+		Name: "hydro",
+		Body: []ir.BodyOp{
+			ir.BLoad("z10", ir.Aff("Z", 1, 10)),
+			ir.BLoad("z11", ir.Aff("Z", 1, 11)),
+			ir.BMul("a", "r", "z10"),
+			ir.BMul("b", "t", "z11"),
+			ir.BAdd("c", "a", "b"),
+			ir.BLoad("y", ir.Aff("Y", 1, 0)),
+			ir.BMul("d", "y", "c"),
+			ir.BAdd("e", "q", "d"),
+			ir.BStore(ir.Aff("X", 1, 0), "e"),
+		},
+		Step: 1, TripVar: "n", LiveIn: []string{"q", "r", "t"},
+	}
+	var jobs []batch.Job
+	for _, f := range []int{2, 4} {
+		for _, tech := range []string{"grip", "post", "modulo", "list"} {
+			jobs = append(jobs, batch.Job{Technique: tech, Spec: loop, Machine: machine.New(f)})
+		}
+	}
+	seq, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range jobs {
+		s, p := seq[i], par[i]
+		if s.Err != nil || p.Err != nil {
+			t.Fatalf("job %d: seq err %v, par err %v", i, s.Err, p.Err)
+		}
+		if s.Result.Speedup != p.Result.Speedup ||
+			s.Result.CyclesPerIter != p.Result.CyclesPerIter ||
+			s.Result.Converged != p.Result.Converged ||
+			s.Result.Rows != p.Result.Rows {
+			t.Errorf("%s @%dFU: parallel diverged: seq %+v par %+v",
+				jobs[i].Technique, jobs[i].Machine.OpSlots, s.Result, p.Result)
+		}
+	}
+}
+
+func TestBenchReport(t *testing.T) {
+	jobs := []batch.Job{
+		{Technique: "list", Spec: tinyLoop("r0"), Machine: machine.New(2), Label: "LL0"},
+	}
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := batch.NewBenchReport(outs, 3, 10*time.Millisecond)
+	if rep.Parallelism != 3 || len(rep.Cells) != 1 {
+		t.Fatalf("bad report %+v", rep)
+	}
+	c := rep.Cells[0]
+	if c.Loop != "LL0" || c.FUs != 2 || c.Technique != "list" || c.Speedup <= 0 {
+		t.Errorf("bad cell %+v", c)
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"loop": "LL0"`) {
+		t.Errorf("JSON missing loop name: %s", sb.String())
+	}
+}

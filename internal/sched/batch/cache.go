@@ -1,0 +1,47 @@
+package batch
+
+import (
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/sched"
+)
+
+// Cache is a thread-safe LRU of scheduling results keyed by Job.Key().
+// Cached results are shared pointers: treat them (and their Raw
+// payloads) as read-only.
+type Cache struct {
+	lru    *lru.Cache[string, *sched.Result]
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+// NewCache returns an LRU cache holding up to capacity results.
+func NewCache(capacity int) *Cache {
+	return &Cache{lru: lru.New[string, *sched.Result](capacity)}
+}
+
+// Get returns the cached result for key, marking it most recently used.
+func (c *Cache) Get(key string) (*sched.Result, bool) {
+	res, ok := c.lru.Get(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return res, ok
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// when over capacity.
+func (c *Cache) Put(key string, res *sched.Result) {
+	c.lru.Put(key, res)
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// Stats returns the hit and miss counts since creation.
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,122 @@
+// Package sched defines the uniform backend interface every scheduling
+// technique in this repository implements, a process-wide registry the
+// facade and commands drive, and the normalized result all techniques
+// report. Adding a technique is one Register call; everything above —
+// the batch engine, Table 1, the CLI flags — picks it up by name.
+//
+// Layering (bottom-up): core/ps/graph implement the transformations,
+// the technique packages (pipeline, post, modulo, listsched) implement
+// whole techniques, this package adapts them behind one interface, and
+// sched/batch executes jobs against the registry concurrently.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// Result is the normalized outcome every backend reports, carrying the
+// metrics Table 1 and the CLI compare across techniques.
+type Result struct {
+	// Technique is the registry name of the backend that produced the
+	// result.
+	Technique string
+	// Loop is the scheduled loop's name.
+	Loop string
+	// CyclesPerIter is the steady-state cost of one source iteration.
+	CyclesPerIter float64
+	// Speedup is sequential ops per iteration divided by CyclesPerIter —
+	// the paper's Table 1 metric.
+	Speedup float64
+	// Converged reports whether the technique reached its steady state
+	// (pattern convergence for the pipelining techniques; trivially true
+	// for single-iteration schedulers).
+	Converged bool
+	// KernelRows and KernelIterSpan describe the steady-state kernel:
+	// its row count and how many source iterations one period spans.
+	// Zero when no kernel formed.
+	KernelRows     int
+	KernelIterSpan int
+	// Rows is the full schedule length in instructions.
+	Rows int
+	// Barriers counts resource-barrier events during scheduling (GRiP's
+	// integrated-constraint cost metric; zero for other techniques).
+	Barriers int
+	// Raw is the technique's native result (*pipeline.Result,
+	// *modulo.Result, *listsched.Result) for consumers needing more than
+	// the normalized view. Treat it as read-only: results may be shared
+	// through caches.
+	Raw any
+}
+
+// Scheduler is one scheduling technique: it maps a loop and a machine
+// model to a normalized result. Implementations must be safe for
+// concurrent use — the batch engine calls Schedule from many goroutines.
+type Scheduler interface {
+	// Name returns the registry name ("grip", "post", ...).
+	Name() string
+	// Schedule runs the technique for spec on m.
+	Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scheduler{}
+)
+
+// Register adds a backend under its name. It panics on a duplicate
+// name: backends are registered from init functions, and a collision is
+// a programming error.
+func Register(s Scheduler) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	name := s.Name()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sched: duplicate scheduler %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Scheduler, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns the registered backends in name order.
+func All() []Scheduler {
+	var ss []Scheduler
+	for _, n := range Names() {
+		s, _ := Lookup(n)
+		ss = append(ss, s)
+	}
+	return ss
+}
+
+// Schedule runs the named backend for spec on m, returning an error for
+// unknown names.
+func Schedule(name string, spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
+	s, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
+	}
+	return s.Schedule(spec, m)
+}

@@ -1,0 +1,150 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/listsched"
+	"repro/internal/machine"
+	"repro/internal/modulo"
+	"repro/internal/pipeline"
+	"repro/internal/post"
+	"repro/internal/sched"
+)
+
+func dotLoop() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "dot",
+		Body: []ir.BodyOp{
+			ir.BLoad("t1", ir.Aff("Z", 1, 0)),
+			ir.BLoad("t2", ir.Aff("X", 1, 0)),
+			ir.BMul("t3", "t1", "t2"),
+			ir.BAdd("q", "q", "t3"),
+		},
+		Step: 1, TripVar: "n",
+		LiveIn: []string{"q"}, LiveOut: []string{"q"},
+	}
+}
+
+func TestRegistryHasAllTechniques(t *testing.T) {
+	for _, name := range []string{"grip", "post", "modulo", "list"} {
+		s, ok := sched.Lookup(name)
+		if !ok {
+			t.Fatalf("Lookup(%q) = not found", name)
+		}
+		if s.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, s.Name())
+		}
+	}
+	names := sched.Names()
+	if len(names) < 4 {
+		t.Errorf("Names() = %v, want at least the four techniques", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+	if len(sched.All()) != len(names) {
+		t.Errorf("All() returned %d backends for %d names", len(sched.All()), len(names))
+	}
+}
+
+func TestScheduleUnknownTechnique(t *testing.T) {
+	if _, err := sched.Schedule("no-such-scheduler", dotLoop(), machine.New(4)); err == nil {
+		t.Fatal("Schedule with unknown name succeeded")
+	}
+	if _, ok := sched.Lookup("no-such-scheduler"); ok {
+		t.Fatal("Lookup invented a scheduler")
+	}
+}
+
+// TestBackendsMatchDirectCalls proves the adapters are transparent: the
+// normalized result of every backend equals the corresponding direct
+// technique call, including POST, whose adapter reuses a memoized
+// phase-1 schedule through a deep clone.
+func TestBackendsMatchDirectCalls(t *testing.T) {
+	spec := dotLoop()
+	for _, fus := range []int{2, 4} {
+		m := machine.New(fus)
+		cfg := pipeline.DefaultConfig(m)
+
+		g, err := sched.Schedule("grip", spec, m)
+		if err != nil {
+			t.Fatalf("grip @%dFU: %v", fus, err)
+		}
+		gd, err := pipeline.PerfectPipeline(spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Speedup != gd.Speedup || g.CyclesPerIter != gd.CyclesPerIter ||
+			g.Converged != gd.Converged || g.Rows != gd.Rows ||
+			g.Barriers != gd.Stats.ResourceBarriers {
+			t.Errorf("grip @%dFU: adapter %+v != direct speedup=%v cpi=%v conv=%v rows=%d",
+				fus, g, gd.Speedup, gd.CyclesPerIter, gd.Converged, gd.Rows)
+		}
+		if g.Technique != "grip" || g.Loop != spec.Name {
+			t.Errorf("grip labels: %q %q", g.Technique, g.Loop)
+		}
+
+		// Run post twice so both the memo-miss and memo-hit paths are
+		// compared against the direct pipeline.
+		for pass := 0; pass < 2; pass++ {
+			p, err := sched.Schedule("post", spec, m)
+			if err != nil {
+				t.Fatalf("post @%dFU: %v", fus, err)
+			}
+			pd, err := post.Pipeline(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Speedup != pd.Speedup || p.CyclesPerIter != pd.CyclesPerIter ||
+				p.Converged != pd.Converged || p.Rows != pd.Rows {
+				t.Errorf("post @%dFU pass %d: adapter speedup=%v cpi=%v conv=%v rows=%d != direct %v %v %v %d",
+					fus, pass, p.Speedup, p.CyclesPerIter, p.Converged, p.Rows,
+					pd.Speedup, pd.CyclesPerIter, pd.Converged, pd.Rows)
+			}
+		}
+
+		mo, err := sched.Schedule("modulo", spec, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		md, err := modulo.Schedule(spec, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mo.Speedup != md.Speedup || mo.CyclesPerIter != float64(md.II) || !mo.Converged {
+			t.Errorf("modulo @%dFU: %+v != II=%d speedup=%v", fus, mo, md.II, md.Speedup)
+		}
+
+		ls, err := sched.Schedule("list", spec, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ld := listsched.Schedule(spec, m)
+		if ls.Speedup != ld.Speedup || ls.CyclesPerIter != float64(ld.Cycles) {
+			t.Errorf("list @%dFU: %+v != cycles=%d speedup=%v", fus, ls, ld.Cycles, ld.Speedup)
+		}
+	}
+}
+
+// TestResultRawTypes checks each backend exposes its native result.
+func TestResultRawTypes(t *testing.T) {
+	spec := dotLoop()
+	m := machine.New(4)
+	for name, want := range map[string]func(any) bool{
+		"grip":   func(r any) bool { _, ok := r.(*pipeline.Result); return ok },
+		"post":   func(r any) bool { _, ok := r.(*pipeline.Result); return ok },
+		"modulo": func(r any) bool { _, ok := r.(*modulo.Result); return ok },
+		"list":   func(r any) bool { _, ok := r.(*listsched.Result); return ok },
+	} {
+		res, err := sched.Schedule(name, spec, m)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !want(res.Raw) {
+			t.Errorf("%s: Raw has unexpected type %T", name, res.Raw)
+		}
+	}
+}
