@@ -6,6 +6,7 @@
 package grip
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"testing"
@@ -34,7 +35,7 @@ func BenchmarkTable1(b *testing.B) {
 				var last *pipeline.Result
 				for i := 0; i < b.N; i++ {
 					var err error
-					last, err = pipeline.PerfectPipeline(k.Spec, cfg)
+					last, err = pipeline.PerfectPipeline(context.Background(), k.Spec, cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -46,7 +47,7 @@ func BenchmarkTable1(b *testing.B) {
 				var last *pipeline.Result
 				for i := 0; i < b.N; i++ {
 					var err error
-					last, err = post.Pipeline(k.Spec, cfg)
+					last, err = post.Pipeline(context.Background(), k.Spec, cfg)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -74,7 +75,7 @@ func BenchmarkFigure6(b *testing.B) {
 		var last *pipeline.Result
 		for i := 0; i < b.N; i++ {
 			var err error
-			last, err = pipeline.SimplePipeline(spec, cfg, 4)
+			last, err = pipeline.SimplePipeline(context.Background(), spec, cfg, 4)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -85,7 +86,7 @@ func BenchmarkFigure6(b *testing.B) {
 		var last *pipeline.Result
 		for i := 0; i < b.N; i++ {
 			var err error
-			last, err = pipeline.PerfectPipeline(spec, cfg)
+			last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -112,7 +113,7 @@ func BenchmarkFigure9_13(b *testing.B) {
 			var last *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = pipeline.PerfectPipeline(spec, cfg)
+				last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -141,11 +142,11 @@ func BenchmarkIntroExample(b *testing.B) {
 	m := machine.New(4)
 	var g, mo float64
 	for i := 0; i < b.N; i++ {
-		res, err := pipeline.PerfectPipeline(spec, pipeline.DefaultConfig(m))
+		res, err := pipeline.PerfectPipeline(context.Background(), spec, pipeline.DefaultConfig(m))
 		if err != nil {
 			b.Fatal(err)
 		}
-		mres, err := modulo.Schedule(spec, m)
+		mres, err := modulo.Schedule(context.Background(), spec, m)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -172,7 +173,7 @@ func BenchmarkSchedulerCost(b *testing.B) {
 			g := uw.BuildGraph()
 			ddg := deps.Build(uw.Ops)
 			ctx := ps.NewCtx(g, m, uw.ExitLive)
-			if _, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{GapPrevention: true}); err != nil {
+			if _, err := core.Schedule(context.Background(), ctx, uw.Ops, deps.NewPriority(ddg), core.Options{GapPrevention: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -209,7 +210,7 @@ func BenchmarkAblationGapPrevention(b *testing.B) {
 			var last *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = pipeline.PerfectPipeline(spec, cfg)
+				last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -231,7 +232,7 @@ func BenchmarkAblationRedundancyRemoval(b *testing.B) {
 			var last *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = pipeline.PerfectPipeline(spec, cfg)
+				last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -254,7 +255,7 @@ func BenchmarkAblationEmptyPrelude(b *testing.B) {
 			var last *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = pipeline.PerfectPipeline(spec, cfg)
+				last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -276,7 +277,7 @@ func BenchmarkAblationBranchSlots(b *testing.B) {
 			var last *pipeline.Result
 			for i := 0; i < b.N; i++ {
 				var err error
-				last, err = pipeline.PerfectPipeline(spec, cfg)
+				last, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -291,7 +292,7 @@ func BenchmarkAblationBranchSlots(b *testing.B) {
 // execution per second) on a scheduled pipeline.
 func BenchmarkSimulator(b *testing.B) {
 	k := livermore.ByName("LL1")
-	res, err := pipeline.PerfectPipeline(k.Spec, pipeline.DefaultConfig(machine.New(4)))
+	res, err := pipeline.PerfectPipeline(context.Background(), k.Spec, pipeline.DefaultConfig(machine.New(4)))
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -35,6 +35,7 @@ func main() {
 	schedAlias := flag.String("scheduler", "", "alias for -technique (kept for compatibility)")
 	printRows := flag.Bool("print", false, "print the scheduled rows (grip and post only)")
 	noOpt := flag.Bool("no-opt", false, "disable redundant-operation removal (grip and post only)")
+	unwind := flag.Int("unwind", 0, "fix the unwind factor (0 = automatic ladder); joins the cache key")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count when comparing several widths (batch path only; -print/-no-opt runs are sequential)")
 	flag.Parse()
@@ -77,7 +78,7 @@ func main() {
 	// ignored.
 	if *printRows || *noOpt {
 		for _, f := range fus {
-			if err := detailed(spec, tech, f, *printRows, *noOpt); err != nil {
+			if err := detailed(spec, tech, f, *unwind, *printRows, *noOpt); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -85,9 +86,10 @@ func main() {
 		return
 	}
 
+	cfg := sched.Config{Unwind: *unwind}
 	var jobs []batch.Job
 	for _, f := range fus {
-		jobs = append(jobs, batch.Job{Technique: tech, Spec: spec, Machine: machine.New(f)})
+		jobs = append(jobs, batch.Job{Technique: tech, Spec: spec, Machine: machine.New(f), Config: cfg})
 	}
 	outcomes, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: *parallel})
 	if err != nil {
@@ -111,17 +113,18 @@ func main() {
 
 // detailed reproduces the original single-run report with the full
 // schedule and optimization toggle.
-func detailed(spec *ir.LoopSpec, tech string, fus int, printRows, noOpt bool) error {
+func detailed(spec *ir.LoopSpec, tech string, fus, unwind int, printRows, noOpt bool) error {
 	m := machine.New(fus)
 	cfg := pipeline.DefaultConfig(m)
 	cfg.Optimize = !noOpt
+	cfg.Unwind = unwind
 	var res *pipeline.Result
 	var err error
 	switch tech {
 	case "grip":
-		res, err = pipeline.PerfectPipeline(spec, cfg)
+		res, err = pipeline.PerfectPipeline(context.Background(), spec, cfg)
 	case "post":
-		res, err = post.Pipeline(spec, cfg)
+		res, err = post.Pipeline(context.Background(), spec, cfg)
 	default:
 		return fmt.Errorf("-print/-no-opt support only grip and post (got %q)", tech)
 	}

@@ -2,13 +2,21 @@
 // GRiP and POST on Livermore Loops 1–14 at 2, 4 and 8 functional units,
 // with arithmetic-mean and weighted-harmonic-mean summary rows. Cells
 // run through the sched/batch engine; -parallel controls the worker
-// pool and -technique selects any registered backends (the default pair
-// prints the paper's layout, other selections print a generic matrix).
+// pool and -technique selects any registered backends — every
+// selection, not just the paper's grip/post pair, renders through the
+// same table layout.
+//
+// -config overrides the techniques' paper-default configuration for
+// every cell, and -sweep-unwind runs the whole matrix once per unwind
+// factor: each configuration is a distinct cache key, so sweep cells
+// cache independently while paper-default cells stay bit-identical to
+// BENCH_table1.json.
 //
 // Usage:
 //
 //	go run ./cmd/table1 [-fus 2,4,8] [-loops LL1,LL3] [-csv] [-validate]
 //	                    [-parallel N] [-technique grip,post]
+//	                    [-config unwind=24,gap=false] [-sweep-unwind 0,12,24,48]
 //	                    [-timeout 5m] [-bench-out BENCH_table1.json]
 package main
 
@@ -18,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,6 +45,12 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "batch worker count")
 	technique := flag.String("technique", "grip,post",
 		fmt.Sprintf("comma-separated techniques to run (registered: %s)", strings.Join(sched.Names(), ",")))
+	configFlag := flag.String("config", "",
+		"scheduler configuration overrides for every cell, comma-separated key=value pairs\n"+
+			"(unwind=N, maxunwind=N, optimize=BOOL, gap=BOOL, prelude=N, renaming=BOOL, periods=N)")
+	sweepFlag := flag.String("sweep-unwind", "",
+		"comma-separated unwind factors; runs the matrix once per factor through the shared\n"+
+			"per-config cache (0 = the automatic ladder, i.e. the paper default)")
 	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none)")
 	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file")
 	flag.Parse()
@@ -76,6 +91,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg, err := parseConfig(*configFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// The run's configurations: the base config alone, or one per sweep
+	// factor. Validation covers the same set, so -validate certifies
+	// exactly the schedules the run displayed.
+	runConfigs := []sched.Config{cfg}
+	if *sweepFlag != "" {
+		factors, err := parseFactors(*sweepFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runConfigs = nil
+		for _, u := range factors {
+			c := cfg
+			c.Unwind = u
+			runConfigs = append(runConfigs, c)
+		}
+	}
+
 	opts := batch.Options{
 		Parallelism: *parallel,
 		Timeout:     *timeout,
@@ -85,21 +124,23 @@ func main() {
 	start := time.Now()
 	var outcomes []batch.Outcome
 	var runErr error
-	// The grip+post pair (in either order) is the paper's Table 1 and
-	// gets its layout; any other selection prints the generic matrix.
-	if len(techniques) == 2 && hasGrip && hasPost {
+	if *sweepFlag != "" {
+		outcomes, runErr = runSweep(kernels, fus, techniques, runConfigs, opts, *csv)
+	} else {
 		var tbl *harness.Table
-		tbl, outcomes, runErr = harness.RunTable1Ctx(context.Background(), kernels, fus, opts)
+		tbl, outcomes, runErr = harness.RunTable(context.Background(), kernels, fus, techniques, cfg, opts)
 		if runErr == nil {
-			if *csv {
+			switch {
+			case *csv:
 				fmt.Print(tbl.CSV())
-			} else {
+			case len(techniques) == 2 && hasGrip && hasPost && cfg == (sched.Config{}):
 				fmt.Println("Table 1: Observed Speed-up (GRiP vs POST)")
+				fmt.Print(tbl.Format())
+			default:
+				fmt.Printf("Observed Speed-up (%s)\n", strings.Join(techniques, " vs "))
 				fmt.Print(tbl.Format())
 			}
 		}
-	} else {
-		outcomes, runErr = runMatrix(kernels, fus, techniques, opts, *csv)
 	}
 	elapsed := time.Since(start)
 
@@ -119,16 +160,124 @@ func main() {
 	}
 
 	if *validate {
-		for _, k := range kernels {
-			for _, f := range fus {
-				if err := harness.ValidateCell(k, f); err != nil {
-					fmt.Fprintf(os.Stderr, "VALIDATION FAILED %s @%dFU: %v\n", k.Name, f, err)
-					os.Exit(1)
+		for _, c := range runConfigs {
+			suffix := ""
+			if c != (sched.Config{}) {
+				suffix = " [" + c.Fingerprint() + "]"
+			}
+			for _, k := range kernels {
+				for _, f := range fus {
+					if err := harness.ValidateCell(k, f, c); err != nil {
+						fmt.Fprintf(os.Stderr, "VALIDATION FAILED %s @%dFU%s: %v\n", k.Name, f, suffix, err)
+						os.Exit(1)
+					}
+					fmt.Printf("validated %s @%dFU%s: scheduled code ≡ original loop\n", k.Name, f, suffix)
 				}
-				fmt.Printf("validated %s @%dFU: scheduled code ≡ original loop\n", k.Name, f)
 			}
 		}
 	}
+}
+
+// parseFactors parses the -sweep-unwind flag's factor list.
+func parseFactors(s string) ([]int, error) {
+	var factors []int
+	for _, part := range strings.Split(s, ",") {
+		u, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || u < 0 {
+			return nil, fmt.Errorf("bad -sweep-unwind factor %q", part)
+		}
+		factors = append(factors, u)
+	}
+	return factors, nil
+}
+
+// parseConfig turns the -config flag's key=value list into a per-job
+// scheduler configuration (zero value = paper defaults).
+func parseConfig(s string) (sched.Config, error) {
+	var cfg sched.Config
+	if s == "" {
+		return cfg, nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad -config entry %q (want key=value)", pair)
+		}
+		var err error
+		switch strings.ToLower(key) {
+		case "unwind":
+			cfg.Unwind, err = strconv.Atoi(val)
+		case "maxunwind":
+			cfg.MaxUnwind, err = strconv.Atoi(val)
+		case "prelude":
+			cfg.EmptyPrelude, err = strconv.Atoi(val)
+		case "periods":
+			cfg.Periods, err = strconv.Atoi(val)
+		case "optimize":
+			var b bool
+			b, err = strconv.ParseBool(val)
+			cfg.NoOptimize = !b
+		case "gap":
+			var b bool
+			b, err = strconv.ParseBool(val)
+			cfg.NoGapPrevention = !b
+		case "renaming":
+			cfg.Renaming, err = strconv.ParseBool(val)
+		default:
+			return cfg, fmt.Errorf("unknown -config key %q", key)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("bad -config value %q for %q: %v", val, key, err)
+		}
+	}
+	return cfg, nil
+}
+
+// runSweep runs the technique matrix once per configuration (one per
+// unwind factor). Every factor is a distinct configuration fingerprint,
+// so the shared cache holds the sweep's cells side by side; rerunning a
+// factor is free.
+func runSweep(kernels []*livermore.Kernel, fus []int, techniques []string, configs []sched.Config, opts batch.Options, csv bool) ([]batch.Outcome, error) {
+	if csv {
+		fmt.Println("unwind,loop,fus,technique,speedup,converged,cache_hit,wall_ms")
+	}
+	var all []batch.Outcome
+	for _, cfg := range configs {
+		u := cfg.Unwind
+		tbl, outs, err := harness.RunTable(context.Background(), kernels, fus, techniques, cfg, opts)
+		all = append(all, outs...)
+		if err != nil {
+			return all, fmt.Errorf("unwind=%d: %w", u, err)
+		}
+		if csv {
+			for _, o := range outs {
+				r := o.Result
+				fmt.Printf("%d,%s,%d,%s,%.3f,%v,%v,%.3f\n",
+					u, o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Job.Technique,
+					r.Speedup, r.Converged, o.CacheHit, float64(o.Wall.Microseconds())/1000)
+			}
+			continue
+		}
+		label := fmt.Sprintf("unwind=%d", u)
+		if u == 0 {
+			label += " (auto)"
+		}
+		fmt.Printf("%-16s", label)
+		for fi, f := range fus {
+			if fi > 0 {
+				fmt.Print(" |")
+			}
+			for ti, tech := range techniques {
+				fmt.Printf(" %s@%d %5.2f", tech, f, tbl.MeanRow[fi].Stats[ti].Speedup)
+			}
+		}
+		fmt.Println()
+	}
+	if opts.Cache != nil {
+		hits, misses := opts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "sweep cache: %d hits, %d misses across %d outcomes\n", hits, misses, len(all))
+	}
+	return all, nil
 }
 
 // writeBench renders the batch outcomes as the JSON bench report.
@@ -143,59 +292,4 @@ func writeBench(path string, outcomes []batch.Outcome, parallelism int, elapsed 
 		return err
 	}
 	return f.Close()
-}
-
-// runMatrix runs an arbitrary technique selection through the batch
-// engine and prints a generic speedup matrix (loops × FU counts, one
-// column group per technique).
-func runMatrix(kernels []*livermore.Kernel, fus []int, techniques []string, opts batch.Options, csv bool) ([]batch.Outcome, error) {
-	var jobs []batch.Job
-	for _, k := range kernels {
-		for _, f := range fus {
-			for _, tech := range techniques {
-				jobs = append(jobs, batch.Job{
-					Technique: tech, Spec: k.Spec, Machine: machine.New(f), Label: k.Name,
-				})
-			}
-		}
-	}
-	outcomes, err := batch.Run(context.Background(), jobs, opts)
-	if err != nil {
-		return outcomes, err
-	}
-	for _, o := range outcomes {
-		if o.Err != nil {
-			return outcomes, fmt.Errorf("%s %s @%dFU: %w", o.Job.Technique, o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Err)
-		}
-	}
-	if csv {
-		fmt.Println("loop,fus,technique,speedup,cycles_per_iter,converged")
-		for _, o := range outcomes {
-			r := o.Result
-			fmt.Printf("%s,%d,%s,%.3f,%.3f,%v\n",
-				o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Job.Technique,
-				r.Speedup, r.CyclesPerIter, r.Converged)
-		}
-		return outcomes, nil
-	}
-	// Headers and row labels read the outcomes' own job descriptions,
-	// so the layout stays correct under any job-construction order as
-	// long as cells of one loop are contiguous.
-	perRow := len(fus) * len(techniques)
-	fmt.Printf("%-6s", "Loop")
-	for _, o := range outcomes[:perRow] {
-		fmt.Printf(" %9s", fmt.Sprintf("%s@%d", o.Job.Technique, o.Job.Machine.OpSlots))
-	}
-	fmt.Println()
-	for i, o := range outcomes {
-		if i%perRow == 0 {
-			if i > 0 {
-				fmt.Println()
-			}
-			fmt.Printf("%-6s", o.Job.DisplayName())
-		}
-		fmt.Printf(" %9.2f", o.Result.Speedup)
-	}
-	fmt.Println()
-	return outcomes, nil
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 
 		cfg := grip.DefaultConfig(m)
 		cfg.Optimize = false
-		raw, err := grip.PerfectPipelineConfig(tridiag(), cfg)
+		raw, err := grip.PerfectPipelineConfig(context.Background(), tridiag(), cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

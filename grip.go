@@ -86,30 +86,32 @@ func DefaultConfig(m MachineModel) Config { return pipeline.DefaultConfig(m) }
 // PerfectPipeline pipelines the loop with GRiP on a machine with the
 // given model, unwinding until the steady-state pattern converges.
 func PerfectPipeline(loop *Loop, m MachineModel) (*Result, error) {
-	return pipeline.PerfectPipeline(loop, pipeline.DefaultConfig(m))
+	return pipeline.PerfectPipeline(context.Background(), loop, pipeline.DefaultConfig(m))
 }
 
-// PerfectPipelineConfig is PerfectPipeline with full control.
-func PerfectPipelineConfig(loop *Loop, cfg Config) (*Result, error) {
-	return pipeline.PerfectPipeline(loop, cfg)
+// PerfectPipelineConfig is PerfectPipeline with full control. The
+// context cancels the run mid-schedule (the step loops observe it), so
+// callers can bound pathological configurations with a deadline.
+func PerfectPipelineConfig(ctx context.Context, loop *Loop, cfg Config) (*Result, error) {
+	return pipeline.PerfectPipeline(ctx, loop, cfg)
 }
 
 // SimplePipeline unwinds the loop n times and compacts the block without
 // re-forming a steady state (the paper's Figure 6 comparison).
 func SimplePipeline(loop *Loop, m MachineModel, n int) (*Result, error) {
-	return pipeline.SimplePipeline(loop, pipeline.DefaultConfig(m), n)
+	return pipeline.SimplePipeline(context.Background(), loop, pipeline.DefaultConfig(m), n)
 }
 
 // Post pipelines with the POST baseline: infinite-resource GRiP followed
 // by a resource-constraining post-pass.
 func Post(loop *Loop, m MachineModel) (*Result, error) {
-	return post.Pipeline(loop, pipeline.DefaultConfig(m))
+	return post.Pipeline(context.Background(), loop, pipeline.DefaultConfig(m))
 }
 
 // Modulo runs the iterative modulo-scheduling baseline and returns its
 // initiation interval and speedup.
 func Modulo(loop *Loop, m MachineModel) (*modulo.Result, error) {
-	return modulo.Schedule(loop, m)
+	return modulo.Schedule(context.Background(), loop, m)
 }
 
 // ListSchedule compacts a single iteration with no pipelining.
@@ -125,6 +127,17 @@ type SchedResult = sched.Result
 // SchedBackend is the uniform interface scheduling techniques implement.
 type SchedBackend = sched.Scheduler
 
+// SchedRequest is a first-class scheduling request: the (loop, machine,
+// configuration) triple that identifies an experiment and keys result
+// caches.
+type SchedRequest = sched.Request
+
+// SchedConfig is a per-request override of a technique's paper-default
+// configuration; the zero value is the paper default, and its
+// fingerprint joins batch cache keys, so sweeps over unwind factors or
+// gap-prevention settings cache correctly per configuration.
+type SchedConfig = sched.Config
+
 // BatchJob is one scheduling request for the batch engine.
 type BatchJob = batch.Job
 
@@ -132,11 +145,12 @@ type BatchJob = batch.Job
 type BatchOutcome = batch.Outcome
 
 // BatchOptions tune a batch run: worker parallelism, per-job timeout,
-// and an optional shared result cache.
+// and an optional shared result cache with single-flight dedup.
 type BatchOptions = batch.Options
 
 // BatchCache is a thread-safe LRU of scheduling results keyed by
-// (technique, loop fingerprint, machine fingerprint).
+// (technique, loop fingerprint, machine fingerprint, config
+// fingerprint), deduplicating identical in-flight computations.
 type BatchCache = batch.Cache
 
 // Schedulers lists the registered scheduling techniques ("grip",
@@ -147,17 +161,25 @@ func Schedulers() []string { return sched.Names() }
 // Scheduler returns the backend registered under name.
 func Scheduler(name string) (SchedBackend, bool) { return sched.Lookup(name) }
 
-// Schedule runs the named technique for the loop on machine m and
-// returns the normalized result.
-func Schedule(name string, loop *Loop, m MachineModel) (*SchedResult, error) {
-	return sched.Schedule(name, loop, m)
+// Schedule runs the named technique for the loop on machine m under the
+// paper-default configuration and returns the normalized result.
+// Cancelling ctx (or attaching a deadline) stops the computation.
+func Schedule(ctx context.Context, name string, loop *Loop, m MachineModel) (*SchedResult, error) {
+	return sched.Schedule(ctx, name, SchedRequest{Spec: loop, Machine: m})
+}
+
+// ScheduleRequest runs the named technique for a full request,
+// configuration included.
+func ScheduleRequest(ctx context.Context, name string, req SchedRequest) (*SchedResult, error) {
+	return sched.Schedule(ctx, name, req)
 }
 
 // Batch executes scheduling jobs concurrently through the registry:
-// a worker pool with context cancellation, per-job timeouts, and an
-// optional LRU result cache. Outcomes are returned in job order and are
+// a worker pool with context cancellation, per-job timeouts that
+// actually stop the scheduling work, and an optional LRU result cache
+// with single-flight dedup. Outcomes are returned in job order and are
 // bit-identical to a sequential run — every technique is a pure
-// function of (loop, machine).
+// function of (loop, machine, configuration).
 func Batch(ctx context.Context, jobs []BatchJob, opts BatchOptions) ([]BatchOutcome, error) {
 	return batch.Run(ctx, jobs, opts)
 }

@@ -95,7 +95,7 @@ func TestPublicRegistryAndBatch(t *testing.T) {
 		if _, ok := Scheduler(name); !ok {
 			t.Fatalf("Scheduler(%q) not found", name)
 		}
-		res, err := Schedule(name, dotLoop(), m)
+		res, err := Schedule(context.Background(), name, dotLoop(), m)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -107,7 +107,7 @@ func TestPublicRegistryAndBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	byName, err := Schedule("grip", dotLoop(), m)
+	byName, err := Schedule(context.Background(), "grip", dotLoop(), m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +145,7 @@ func TestPublicConfigKnobs(t *testing.T) {
 	cfg := DefaultConfig(Machine(2))
 	cfg.Optimize = false
 	cfg.Unwind = 12
-	res, err := PerfectPipelineConfig(dotLoop(), cfg)
+	res, err := PerfectPipelineConfig(context.Background(), dotLoop(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

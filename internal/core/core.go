@@ -16,6 +16,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deps"
@@ -69,9 +70,10 @@ type Stats struct {
 }
 
 type scheduler struct {
-	ctx  *ps.Ctx
-	pri  *deps.Priority
-	opts Options
+	goctx context.Context // cancellation/deadline signal; checked at checkpoints
+	ctx   *ps.Ctx
+	pri   *deps.Priority
+	opts  Options
 
 	ranked     []*ir.Op // all schedulable ops, highest priority first
 	byIter     map[int][]*ir.Op
@@ -90,14 +92,22 @@ type scheduler struct {
 	gen int
 }
 
-// Schedule runs GRiP over ctx.G. ops must contain every schedulable
+// Schedule runs GRiP over pctx.G. ops must contain every schedulable
 // operation (branches included); pri ranks them per section 3.4.
-func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stats, error) {
+//
+// ctx bounds the computation: the step loop checks it at cheap
+// checkpoints (per scheduled node and per chosen operation) and returns
+// ctx.Err() — wrapped so errors.Is sees context.Canceled or
+// context.DeadlineExceeded — abandoning the partial schedule. This is
+// what lets per-job timeouts in the batch engine stop the work instead
+// of abandoning the goroutine.
+func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stats, error) {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultMaxSteps
 	}
 	s := &scheduler{
-		ctx:        ctx,
+		goctx:      ctx,
+		ctx:        pctx,
 		pri:        pri,
 		opts:       opts,
 		unmoveable: make(map[*ir.Op]bool),
@@ -115,13 +125,16 @@ func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stat
 	pri.Rank(s.ranked)
 
 	for i := 0; i < opts.EmptyPrelude; i++ {
-		ctx.G.InsertBefore(ctx.G.Entry)
+		pctx.G.InsertBefore(pctx.G.Entry)
 	}
 
-	g := ctx.G
+	g := pctx.G
 	for n := g.Entry; n != nil; {
 		if n.Drain {
 			break // drains hang off the main chain and are never scheduled
+		}
+		if err := ctx.Err(); err != nil {
+			return s.stats, fmt.Errorf("core: schedule interrupted: %w", err)
 		}
 		if err := s.scheduleNode(n); err != nil {
 			return s.stats, err
@@ -140,8 +153,8 @@ func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stat
 		}
 	}
 
-	s.stats.Moves = ctx.Moves + ctx.Hoists + ctx.CJMoves
-	s.stats.Renames = ctx.Renames
+	s.stats.Moves = pctx.Moves + pctx.Hoists + pctx.CJMoves
+	s.stats.Renames = pctx.Renames
 	s.stats.BarrierOps = len(s.barrierSet)
 	return s.stats, nil
 }
@@ -171,6 +184,13 @@ func (s *scheduler) scheduleNode(n *graph.Node) error {
 	for {
 		if s.steps > s.opts.MaxSteps {
 			return fmt.Errorf("core: exceeded %d steps (non-termination guard)", s.opts.MaxSteps)
+		}
+		// One checkpoint per chosen operation: each round below performs
+		// a full migration (many ps steps), so this stays off the inner
+		// per-step path while keeping cancellation latency to one
+		// migration's worth of work.
+		if err := s.goctx.Err(); err != nil {
+			return fmt.Errorf("core: schedule interrupted: %w", err)
 		}
 		opRoom := s.ctx.M.FitsOps(n.OpCount() + 1)
 		brRoom := s.ctx.M.FitsBranches(n.BranchCount() + 1)

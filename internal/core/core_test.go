@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/deps"
@@ -29,7 +30,7 @@ func buildStraightLine(n int, fus int) (*ps.Ctx, []*ir.Op, *deps.Priority) {
 
 func TestScheduleFillsRows(t *testing.T) {
 	ctx, ops, pri := buildStraightLine(12, 4)
-	stats, err := Schedule(ctx, ops, pri, Options{})
+	stats, err := Schedule(context.Background(), ctx, ops, pri, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestScheduleRespectsDependences(t *testing.T) {
 	graph.AppendOp(g, n2, c)
 	ops := []*ir.Op{a, bop, c}
 	ctx := ps.NewCtx(g, machine.New(4), nil)
-	if _, err := Schedule(ctx, ops, deps.NewPriority(deps.Build(ops)), Options{}); err != nil {
+	if _, err := Schedule(context.Background(), ctx, ops, deps.NewPriority(deps.Build(ops)), Options{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := len(g.MainChain()); got != 3 {
@@ -83,7 +84,7 @@ func TestScheduleRespectsDependences(t *testing.T) {
 
 func TestEmptyPreludeOption(t *testing.T) {
 	ctx, ops, pri := buildStraightLine(8, 8)
-	_, err := Schedule(ctx, ops, pri, Options{EmptyPrelude: 4})
+	_, err := Schedule(context.Background(), ctx, ops, pri, Options{EmptyPrelude: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestResourceBarrierCounting(t *testing.T) {
 	graph.AppendOp(g, n3, c)
 	ops := []*ir.Op{a, b1, b2, c}
 	ctx := ps.NewCtx(g, machine.New(2), nil)
-	stats, err := Schedule(ctx, ops, deps.NewPriority(deps.Build(ops)), Options{})
+	stats, err := Schedule(context.Background(), ctx, ops, deps.NewPriority(deps.Build(ops)), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestTraceNodeCallback(t *testing.T) {
 	ctx, ops, pri := buildStraightLine(6, 2)
 	var nodes int
 	var firstSet int
-	_, err := Schedule(ctx, ops, pri, Options{
+	_, err := Schedule(context.Background(), ctx, ops, pri, Options{
 		TraceNode: func(n *graph.Node, moveable []*ir.Op) {
 			nodes++
 			if nodes == 1 {
@@ -162,7 +163,7 @@ func TestTraceNodeCallback(t *testing.T) {
 
 func TestMaxStepsGuard(t *testing.T) {
 	ctx, ops, pri := buildStraightLine(20, 4)
-	if _, err := Schedule(ctx, ops, pri, Options{MaxSteps: 1}); err == nil {
+	if _, err := Schedule(context.Background(), ctx, ops, pri, Options{MaxSteps: 1}); err == nil {
 		t.Fatal("expected step-guard error")
 	}
 }

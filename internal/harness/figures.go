@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -88,7 +89,7 @@ func Figure56(w io.Writer, fus int) error {
 	cfg := pipeline.DefaultConfig(machine.New(fus))
 	cfg.Optimize = false
 
-	simple, err := pipeline.SimplePipeline(spec, cfg, 4)
+	simple, err := pipeline.SimplePipeline(context.Background(), spec, cfg, 4)
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func Figure56(w io.Writer, fus int) error {
 	fmt.Fprintf(w, "simple pipelining: %.2f cycles/iteration, speedup %.2f\n\n",
 		simple.CyclesPerIter, simple.Speedup)
 
-	perfect, err := pipeline.PerfectPipeline(spec, cfg)
+	perfect, err := pipeline.PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		return err
 	}
@@ -117,7 +118,7 @@ func Figure9(w io.Writer) (*pipeline.Result, error) {
 	cfg.Optimize = false
 	cfg.GapPrevention = false
 	cfg.Unwind = 16
-	res, err := pipeline.PerfectPipeline(spec, cfg)
+	res, err := pipeline.PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -133,7 +134,7 @@ func Figure13(w io.Writer) (*pipeline.Result, error) {
 	spec := PaperExampleLoop()
 	cfg := pipeline.DefaultConfig(machine.Infinite())
 	cfg.Optimize = false
-	res, err := pipeline.PerfectPipeline(spec, cfg)
+	res, err := pipeline.PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -196,7 +197,7 @@ func Figure8And11(w io.Writer, fus int) error {
 		}
 		row++
 	}
-	res, err := pipeline.PerfectPipeline(spec, cfg)
+	res, err := pipeline.PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		return err
 	}
@@ -210,11 +211,11 @@ func Figure8And11(w io.Writer, fus int) error {
 func IntroExample(w io.Writer) (grip, mod float64, err error) {
 	spec := IntroExampleLoop()
 	m := machine.New(4)
-	res, err := pipeline.PerfectPipeline(spec, pipeline.DefaultConfig(m))
+	res, err := pipeline.PerfectPipeline(context.Background(), spec, pipeline.DefaultConfig(m))
 	if err != nil {
 		return 0, 0, err
 	}
-	mres, err := modulo.Schedule(spec, m)
+	mres, err := modulo.Schedule(context.Background(), spec, m)
 	if err != nil {
 		return 0, 0, err
 	}

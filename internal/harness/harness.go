@@ -1,15 +1,17 @@
 // Package harness runs the paper's experiments: Table 1 (GRiP vs POST
 // over the Livermore loops at 2/4/8 functional units, with mean and
 // weighted-harmonic-mean summary rows) plus per-cell semantic validation
-// and analytic-bound cross-checks.
+// and analytic-bound cross-checks. The table is generalized: any set of
+// registered techniques renders through the same layout, the paper's
+// grip/post pair being the default.
 //
 // All cells run through the sched registry and the sched/batch engine:
 // the table is a job matrix executed by a worker pool, and a
 // process-wide result cache makes revisited cells (summary reruns,
-// validation passes, bench sweeps) free. Cell values are independent of
-// worker count and execution order — every technique is a pure function
-// of (loop, machine) — so parallel runs are bit-identical to
-// sequential ones.
+// validation passes, bench sweeps, config sweeps) free. Cell values are
+// independent of worker count and execution order — every technique is
+// a pure function of (loop, machine, configuration) — so parallel runs
+// are bit-identical to sequential ones.
 package harness
 
 import (
@@ -21,6 +23,7 @@ import (
 	"repro/internal/livermore"
 	"repro/internal/machine"
 	"repro/internal/pipeline"
+	"repro/internal/sched"
 	"repro/internal/sched/batch"
 )
 
@@ -38,72 +41,103 @@ var defaultCache = batch.NewCache(128)
 // with table runs.
 func SharedCache() *batch.Cache { return defaultCache }
 
-// Cell is one Table 1 cell pair.
+// Table1Techniques is the paper's technique pair, in its column order.
+var Table1Techniques = []string{"grip", "post"}
+
+// Stat is one technique's measurement in one table cell.
+type Stat struct {
+	Speedup   float64
+	Converged bool
+	// Barriers counts resource-barrier events during scheduling —
+	// GRiP's integrated-constraint cost metric. The pipelining
+	// techniques report it (POST's count comes from its phase-1 run,
+	// where only branch slots can block); the single-iteration
+	// baselines report zero.
+	Barriers int
+}
+
+// Cell is one (loop, FU count) table cell: one Stat per technique, in
+// Table.Techniques order, plus the technique-independent analytic
+// bound.
 type Cell struct {
-	Grip, Post         float64
-	GripConv, PostConv bool
+	Stats []Stat
 	// Bound is the analytic speedup limit for this loop and FU count:
 	// seq ops / max(RecMII, ResMII) on the unoptimized body. Redundant
 	// operation removal can push measured speedups above it.
 	Bound float64
-	// Barriers counts GRiP resource-barrier events.
-	Barriers int
 }
 
-// Table holds the full Table 1 reproduction.
+// Table holds a technique-comparison table; the paper's Table 1 is the
+// instance with Techniques = ["grip", "post"].
 type Table struct {
-	FUs     []int
-	Names   []string
-	SeqOps  []int
-	Cells   [][]Cell // [loop][fu]
-	MeanRow []Cell
-	WHMRow  []Cell
+	Techniques []string
+	FUs        []int
+	Names      []string
+	SeqOps     []int
+	Cells      [][]Cell // [loop][fu]
+	MeanRow    []Cell
+	WHMRow     []Cell
 }
 
-// cellJobs returns the two jobs (GRiP, POST) of one Table 1 cell.
-func cellJobs(k *livermore.Kernel, fus int) []batch.Job {
+// Col returns the Stats index of a technique, or -1 when the table does
+// not contain it.
+func (t *Table) Col(technique string) int {
+	for i, name := range t.Techniques {
+		if name == technique {
+			return i
+		}
+	}
+	return -1
+}
+
+// cellJobs returns one job per technique for one table cell.
+func cellJobs(k *livermore.Kernel, fus int, techniques []string, cfg sched.Config) []batch.Job {
 	m := machine.New(fus)
-	return []batch.Job{
-		{Technique: "grip", Spec: k.Spec, Machine: m, Label: k.Name},
-		{Technique: "post", Spec: k.Spec, Machine: m, Label: k.Name},
+	jobs := make([]batch.Job, 0, len(techniques))
+	for _, tech := range techniques {
+		jobs = append(jobs, batch.Job{Technique: tech, Spec: k.Spec, Machine: m, Config: cfg, Label: k.Name})
 	}
+	return jobs
 }
 
-// cellOf assembles a Cell from the cell's two outcomes (grip first).
-func cellOf(k *livermore.Kernel, fus int, grip, post batch.Outcome) (Cell, error) {
-	if grip.Err != nil {
-		return Cell{}, fmt.Errorf("%s @%dFU grip: %w", k.Name, fus, grip.Err)
-	}
-	if post.Err != nil {
-		return Cell{}, fmt.Errorf("%s @%dFU post: %w", k.Name, fus, post.Err)
+// cellOf assembles a Cell from the cell's outcomes (technique order).
+func cellOf(k *livermore.Kernel, fus int, outs []batch.Outcome) (Cell, error) {
+	c := Cell{Stats: make([]Stat, len(outs))}
+	for i, o := range outs {
+		if o.Err != nil {
+			return Cell{}, fmt.Errorf("%s @%dFU %s: %w", k.Name, fus, o.Job.Technique, o.Err)
+		}
+		c.Stats[i] = Stat{
+			Speedup:   o.Result.Speedup,
+			Converged: o.Result.Converged,
+			Barriers:  o.Result.Barriers,
+		}
 	}
 	info := deps.Analyze(k.Spec)
-	bound := float64(k.Spec.SeqOpsPerIter()) / info.RateBound(k.Spec.SeqOpsPerIter()-1, fus)
-	return Cell{
-		Grip: grip.Result.Speedup, Post: post.Result.Speedup,
-		GripConv: grip.Result.Converged, PostConv: post.Result.Converged,
-		Bound:    bound,
-		Barriers: grip.Result.Barriers,
-	}, nil
+	c.Bound = float64(k.Spec.SeqOpsPerIter()) / info.RateBound(k.Spec.SeqOpsPerIter()-1, fus)
+	return c, nil
 }
 
-// RunCell measures one loop at one FU count with both techniques.
-func RunCell(k *livermore.Kernel, fus int) (Cell, error) {
-	outs, err := batch.Run(context.Background(), cellJobs(k, fus),
+// RunCell measures one loop at one FU count with the given techniques
+// under the paper-default configuration.
+func RunCell(k *livermore.Kernel, fus int, techniques []string) (Cell, error) {
+	outs, err := batch.Run(context.Background(), cellJobs(k, fus, techniques, sched.Config{}),
 		batch.Options{Cache: defaultCache})
 	if err != nil {
 		return Cell{}, err
 	}
-	return cellOf(k, fus, outs[0], outs[1])
+	return cellOf(k, fus, outs)
 }
 
-// ValidateCell runs the GRiP pipeline for a cell (through the shared
-// cache, so a cell already scheduled for the table costs nothing) and
-// proves the scheduled code semantically equivalent to the original
-// loop on the kernel's workload, for full and early-exit trip counts.
-func ValidateCell(k *livermore.Kernel, fus int) error {
+// ValidateCell runs the GRiP pipeline for a cell under cfg (through
+// the shared cache, so a cell already scheduled for the table costs
+// nothing — the config joins the cache key, so the validated schedule
+// is exactly the one the table displayed) and proves the scheduled
+// code semantically equivalent to the original loop on the kernel's
+// workload, for full and early-exit trip counts.
+func ValidateCell(k *livermore.Kernel, fus int, cfg sched.Config) error {
 	outs, err := batch.Run(context.Background(),
-		[]batch.Job{{Technique: "grip", Spec: k.Spec, Machine: machine.New(fus), Label: k.Name}},
+		[]batch.Job{{Technique: "grip", Spec: k.Spec, Machine: machine.New(fus), Config: cfg, Label: k.Name}},
 		batch.Options{Cache: defaultCache})
 	if err != nil {
 		return err
@@ -127,33 +161,41 @@ func RunTable1(kernels []*livermore.Kernel, fus []int) (*Table, error) {
 	return t, err
 }
 
-// RunTable1Ctx reproduces Table 1 through the batch engine: one job per
-// (kernel, FU count, technique) cell half, executed by a worker pool.
-// The outcomes (in job order: kernels outermost, FU counts inner,
-// grip before post) are returned alongside the table for bench
-// reporting. A nil opts.Cache uses the process-wide shared cache.
+// RunTable1Ctx reproduces the paper's Table 1 (grip vs post, paper
+// defaults) through the batch engine; see RunTable.
 func RunTable1Ctx(ctx context.Context, kernels []*livermore.Kernel, fus []int, opts batch.Options) (*Table, []batch.Outcome, error) {
+	return RunTable(ctx, kernels, fus, Table1Techniques, sched.Config{}, opts)
+}
+
+// RunTable runs a technique-comparison table through the batch engine:
+// one job per (kernel, FU count, technique) cell entry, all under cfg,
+// executed by a worker pool. The outcomes (in job order: kernels
+// outermost, FU counts inner, techniques innermost) are returned
+// alongside the table for bench reporting. A nil opts.Cache uses the
+// process-wide shared cache.
+func RunTable(ctx context.Context, kernels []*livermore.Kernel, fus []int, techniques []string, cfg sched.Config, opts batch.Options) (*Table, []batch.Outcome, error) {
 	if opts.Cache == nil {
 		opts.Cache = defaultCache
 	}
 	var jobs []batch.Job
 	for _, k := range kernels {
 		for _, f := range fus {
-			jobs = append(jobs, cellJobs(k, f)...)
+			jobs = append(jobs, cellJobs(k, f, techniques, cfg)...)
 		}
 	}
 	outcomes, err := batch.Run(ctx, jobs, opts)
 	if err != nil {
 		return nil, outcomes, err
 	}
-	t := &Table{FUs: fus}
+	t := &Table{Techniques: append([]string(nil), techniques...), FUs: fus}
+	nt := len(techniques)
 	for ki, k := range kernels {
 		t.Names = append(t.Names, k.Name)
 		t.SeqOps = append(t.SeqOps, k.Spec.SeqOpsPerIter())
 		row := make([]Cell, len(fus))
 		for fi, f := range fus {
-			base := (ki*len(fus) + fi) * 2
-			c, err := cellOf(k, f, outcomes[base], outcomes[base+1])
+			base := (ki*len(fus) + fi) * nt
+			c, err := cellOf(k, f, outcomes[base:base+nt])
 			if err != nil {
 				return nil, outcomes, err
 			}
@@ -165,74 +207,102 @@ func RunTable1Ctx(ctx context.Context, kernels []*livermore.Kernel, fus []int, o
 	return t, outcomes, nil
 }
 
-// summarize fills the arithmetic-mean and weighted-harmonic-mean rows.
+// summarize fills the arithmetic-mean and weighted-harmonic-mean rows,
+// per technique.
 func (t *Table) summarize() {
-	fus := t.FUs
-	t.MeanRow = make([]Cell, len(fus))
-	t.WHMRow = make([]Cell, len(fus))
-	for fi := range fus {
-		var sumG, sumP float64
-		var whgNum, whgDen, whpDen float64
-		for li := range t.Cells {
-			c := t.Cells[li][fi]
-			w := float64(t.SeqOps[li])
-			sumG += c.Grip
-			sumP += c.Post
-			whgNum += w
-			whgDen += w / c.Grip
-			whpDen += w / c.Post
+	t.MeanRow = make([]Cell, len(t.FUs))
+	t.WHMRow = make([]Cell, len(t.FUs))
+	for fi := range t.FUs {
+		mean := Cell{Stats: make([]Stat, len(t.Techniques))}
+		whm := Cell{Stats: make([]Stat, len(t.Techniques))}
+		for ti := range t.Techniques {
+			var sum, wNum, wDen float64
+			for li := range t.Cells {
+				s := t.Cells[li][fi].Stats[ti]
+				w := float64(t.SeqOps[li])
+				sum += s.Speedup
+				wNum += w
+				if s.Speedup > 0 {
+					wDen += w / s.Speedup
+				}
+			}
+			mean.Stats[ti].Speedup = sum / float64(len(t.Cells))
+			if wDen > 0 {
+				whm.Stats[ti].Speedup = wNum / wDen
+			}
 		}
-		n := float64(len(t.Cells))
-		t.MeanRow[fi] = Cell{Grip: sumG / n, Post: sumP / n}
-		t.WHMRow[fi] = Cell{Grip: whgNum / whgDen, Post: whgNum / whpDen}
+		t.MeanRow[fi] = mean
+		t.WHMRow[fi] = whm
 	}
 }
 
-// Format renders the table in the paper's layout.
+// displayTech maps registry names to the paper's column headings.
+var displayTech = map[string]string{
+	"grip":   "GRiP",
+	"post":   "POST",
+	"modulo": "Modulo",
+	"list":   "List",
+}
+
+func techHeading(name string) string {
+	if d, ok := displayTech[name]; ok {
+		return d
+	}
+	return name
+}
+
+// Format renders the table in the paper's layout, one column group per
+// FU count with one sub-column per technique.
 func (t *Table) Format() string {
 	var b strings.Builder
+	groupW := 8*len(t.Techniques) - 1
 	fmt.Fprintf(&b, "%-6s", "Loop")
 	for _, f := range t.FUs {
-		fmt.Fprintf(&b, " | %6d FU's%-3s", f, "")
+		fmt.Fprintf(&b, " | %-*s", groupW, fmt.Sprintf("%6d FU's", f))
 	}
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "%-6s", "")
 	for range t.FUs {
-		fmt.Fprintf(&b, " | %7s %7s", "GRiP", "POST")
+		b.WriteString(" |")
+		for _, tech := range t.Techniques {
+			fmt.Fprintf(&b, " %7s", techHeading(tech))
+		}
 	}
 	b.WriteByte('\n')
-	b.WriteString(strings.Repeat("-", 6+len(t.FUs)*19) + "\n")
-	for li, name := range t.Names {
-		fmt.Fprintf(&b, "%-6s", name)
+	rule := strings.Repeat("-", 6+len(t.FUs)*(3+groupW)) + "\n"
+	b.WriteString(rule)
+	writeRow := func(label string, cells []Cell) {
+		fmt.Fprintf(&b, "%-6s", label)
 		for fi := range t.FUs {
-			c := t.Cells[li][fi]
-			fmt.Fprintf(&b, " | %7.1f %7.1f", c.Grip, c.Post)
+			b.WriteString(" |")
+			for ti := range t.Techniques {
+				fmt.Fprintf(&b, " %7.1f", cells[fi].Stats[ti].Speedup)
+			}
 		}
 		b.WriteByte('\n')
 	}
-	b.WriteString(strings.Repeat("-", 6+len(t.FUs)*19) + "\n")
-	fmt.Fprintf(&b, "%-6s", "Mean")
-	for fi := range t.FUs {
-		fmt.Fprintf(&b, " | %7.1f %7.1f", t.MeanRow[fi].Grip, t.MeanRow[fi].Post)
+	for li, name := range t.Names {
+		writeRow(name, t.Cells[li])
 	}
-	b.WriteByte('\n')
-	fmt.Fprintf(&b, "%-6s", "WHM")
-	for fi := range t.FUs {
-		fmt.Fprintf(&b, " | %7.1f %7.1f", t.WHMRow[fi].Grip, t.WHMRow[fi].Post)
-	}
-	b.WriteByte('\n')
+	b.WriteString(rule)
+	writeRow("Mean", t.MeanRow)
+	writeRow("WHM", t.WHMRow)
 	return b.String()
 }
 
-// CSV renders the table for machine consumption.
+// CSV renders the table for machine consumption, one row per (loop, FU
+// count, technique).
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString("loop,fus,grip,post,bound,grip_converged,post_converged,grip_barriers\n")
+	b.WriteString("loop,fus,technique,speedup,bound,converged,barriers\n")
 	for li, name := range t.Names {
 		for fi, f := range t.FUs {
 			c := t.Cells[li][fi]
-			fmt.Fprintf(&b, "%s,%d,%.3f,%.3f,%.3f,%v,%v,%d\n",
-				name, f, c.Grip, c.Post, c.Bound, c.GripConv, c.PostConv, c.Barriers)
+			for ti, tech := range t.Techniques {
+				s := c.Stats[ti]
+				fmt.Fprintf(&b, "%s,%d,%s,%.3f,%.3f,%v,%d\n",
+					name, f, tech, s.Speedup, c.Bound, s.Converged, s.Barriers)
+			}
 		}
 	}
 	return b.String()

@@ -2,10 +2,12 @@ package harness
 
 import (
 	"context"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/livermore"
+	"repro/internal/sched"
 	"repro/internal/sched/batch"
 )
 
@@ -22,12 +24,17 @@ func TestTable1ShapeProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Log("\n" + tbl.Format())
+	gi, pi := tbl.Col("grip"), tbl.Col("post")
+	if gi < 0 || pi < 0 {
+		t.Fatalf("Table 1 misses grip/post columns: %v", tbl.Techniques)
+	}
 	losses := 0
 	for li, name := range tbl.Names {
 		prev := 0.0
 		for fi, f := range tbl.FUs {
 			c := tbl.Cells[li][fi]
-			if !c.GripConv {
+			grip, post := c.Stats[gi], c.Stats[pi]
+			if !grip.Converged {
 				t.Errorf("%s @%dFU: GRiP did not converge", name, f)
 			}
 			// Paper: "In all cases GRiP performs no worse than POST."
@@ -36,20 +43,20 @@ func TestTable1ShapeProperties(t *testing.T) {
 			// few such cells but never a large loss, and require the
 			// aggregate claim below. EXPERIMENTS.md discusses the
 			// deviating cells.
-			if c.Grip < c.Post*0.99 {
+			if grip.Speedup < post.Speedup*0.99 {
 				losses++
-				if c.Grip < c.Post*0.70 {
-					t.Errorf("%s @%dFU: GRiP %.2f far below POST %.2f", name, f, c.Grip, c.Post)
+				if grip.Speedup < post.Speedup*0.70 {
+					t.Errorf("%s @%dFU: GRiP %.2f far below POST %.2f", name, f, grip.Speedup, post.Speedup)
 				}
 			}
-			if c.Grip < prev-0.01 {
-				t.Errorf("%s: speedup decreased from %.2f to %.2f at %dFU", name, prev, c.Grip, f)
+			if grip.Speedup < prev-0.01 {
+				t.Errorf("%s: speedup decreased from %.2f to %.2f at %dFU", name, prev, grip.Speedup, f)
 			}
-			prev = c.Grip
+			prev = grip.Speedup
 			// Near-optimality at 2 and 4 FUs, against the analytic
 			// pre-optimization bound (redundancy removal can exceed it).
-			if f <= 4 && c.Grip < 0.85*c.Bound {
-				t.Errorf("%s @%dFU: GRiP %.2f well below bound %.2f", name, f, c.Grip, c.Bound)
+			if f <= 4 && grip.Speedup < 0.85*c.Bound {
+				t.Errorf("%s @%dFU: GRiP %.2f well below bound %.2f", name, f, grip.Speedup, c.Bound)
 			}
 		}
 	}
@@ -57,20 +64,20 @@ func TestTable1ShapeProperties(t *testing.T) {
 		t.Errorf("GRiP lost to POST in %d cells; paper says never", losses)
 	}
 	for fi := range tbl.FUs {
-		if tbl.MeanRow[fi].Grip < tbl.MeanRow[fi].Post-0.01 {
+		if tbl.MeanRow[fi].Stats[gi].Speedup < tbl.MeanRow[fi].Stats[pi].Speedup-0.01 {
 			t.Errorf("mean @%dFU: GRiP %.2f < POST %.2f", tbl.FUs[fi],
-				tbl.MeanRow[fi].Grip, tbl.MeanRow[fi].Post)
+				tbl.MeanRow[fi].Stats[gi].Speedup, tbl.MeanRow[fi].Stats[pi].Speedup)
 		}
 	}
 	out := tbl.Format()
-	for _, want := range []string{"LL1", "LL14", "Mean", "WHM"} {
+	for _, want := range []string{"LL1", "LL14", "Mean", "WHM", "GRiP", "POST"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted table missing %q", want)
 		}
 	}
 	csv := tbl.CSV()
-	if !strings.Contains(csv, "LL3,4,") {
-		t.Errorf("CSV missing expected row")
+	if !strings.Contains(csv, "LL3,4,grip,") || !strings.Contains(csv, "LL3,4,post,") {
+		t.Errorf("CSV missing expected rows")
 	}
 }
 
@@ -99,7 +106,7 @@ func TestParallelTableBitIdentical(t *testing.T) {
 	}
 	for li := range seq.Cells {
 		for fi := range seq.Cells[li] {
-			if seq.Cells[li][fi] != par.Cells[li][fi] {
+			if !reflect.DeepEqual(seq.Cells[li][fi], par.Cells[li][fi]) {
 				t.Errorf("%s @%dFU: sequential %+v != parallel %+v",
 					seq.Names[li], fus[fi], seq.Cells[li][fi], par.Cells[li][fi])
 			}
@@ -130,8 +137,82 @@ func TestSharedCacheMakesRerunsFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first.Cells[0][0] != second.Cells[0][0] {
+	if !reflect.DeepEqual(first.Cells[0][0], second.Cells[0][0]) {
 		t.Errorf("cached cell differs: %+v != %+v", first.Cells[0][0], second.Cells[0][0])
+	}
+}
+
+// TestTableNTechniques renders a four-technique table through the same
+// layout the paper pair uses — no generic-matrix fallback.
+func TestTableNTechniques(t *testing.T) {
+	kernels := []*livermore.Kernel{livermore.ByName("LL3")}
+	techniques := []string{"list", "modulo", "post", "grip"}
+	tbl, outs, err := RunTable(context.Background(), kernels, []int{2, 4}, techniques,
+		sched.Config{}, batch.Options{Cache: batch.NewCache(16)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != len(kernels)*2*len(techniques) {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if got := tbl.Techniques; !reflect.DeepEqual(got, techniques) {
+		t.Errorf("table techniques %v, want %v", got, techniques)
+	}
+	c := tbl.Cells[0][0]
+	if len(c.Stats) != 4 {
+		t.Fatalf("cell has %d stats, want 4", len(c.Stats))
+	}
+	// The paper's ordering on a vectorizable loop: pipelining beats
+	// compaction, integrated constraints beat the rest.
+	li, gi := tbl.Col("list"), tbl.Col("grip")
+	for fi := range tbl.FUs {
+		c := tbl.Cells[0][fi]
+		if c.Stats[gi].Speedup < c.Stats[li].Speedup-0.01 {
+			t.Errorf("@%dFU: grip %.2f below list %.2f", tbl.FUs[fi], c.Stats[gi].Speedup, c.Stats[li].Speedup)
+		}
+	}
+	out := tbl.Format()
+	for _, want := range []string{"List", "Modulo", "POST", "GRiP", "LL3", "Mean", "WHM"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted N-technique table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tbl.CSV()
+	for _, tech := range techniques {
+		if !strings.Contains(csv, "LL3,2,"+tech+",") {
+			t.Errorf("CSV missing technique row %q", tech)
+		}
+	}
+}
+
+// TestTableConfigSweepDistinctCells proves a table under a non-default
+// configuration occupies its own cache entries: a second run of the
+// same config is all hits, while the default-config run still misses.
+func TestTableConfigSweepDistinctCells(t *testing.T) {
+	kernels := []*livermore.Kernel{livermore.ByName("LL3")}
+	cache := batch.NewCache(64)
+	opts := batch.Options{Cache: cache}
+	cfg := sched.Config{Unwind: 12}
+	_, outs, err := RunTable(context.Background(), kernels, []int{2}, []string{"grip"}, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].CacheHit {
+		t.Error("fresh configured run hit the cache")
+	}
+	_, outs, err = RunTable(context.Background(), kernels, []int{2}, []string{"grip"}, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !outs[0].CacheHit {
+		t.Error("identical configured rerun missed the cache")
+	}
+	_, outs, err = RunTable(context.Background(), kernels, []int{2}, []string{"grip"}, sched.Config{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].CacheHit {
+		t.Error("default-config run shared the configured run's cache entry")
 	}
 }
 
@@ -142,9 +223,14 @@ func TestValidateSample(t *testing.T) {
 	for _, name := range []string{"LL1", "LL3", "LL5", "LL13"} {
 		k := livermore.ByName(name)
 		for _, f := range []int{2, 8} {
-			if err := ValidateCell(k, f); err != nil {
+			if err := ValidateCell(k, f, sched.Config{}); err != nil {
 				t.Errorf("%s @%dFU: %v", name, f, err)
 			}
 		}
+	}
+	// A configured schedule validates too — and it is the configured
+	// schedule that gets validated, not the paper default.
+	if err := ValidateCell(livermore.ByName("LL3"), 2, sched.Config{Unwind: 12}); err != nil {
+		t.Errorf("LL3 @2FU unwind=12: %v", err)
 	}
 }

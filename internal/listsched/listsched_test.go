@@ -1,6 +1,7 @@
 package listsched
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/deps"
@@ -49,7 +50,7 @@ func TestListNeverBeatsModulo(t *testing.T) {
 	for _, k := range livermore.All() {
 		m := machine.New(4)
 		ls := Schedule(k.Spec, m)
-		mod, err := modulo.Schedule(k.Spec, m)
+		mod, err := modulo.Schedule(context.Background(), k.Spec, m)
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}

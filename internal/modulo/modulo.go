@@ -9,6 +9,7 @@
 package modulo
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/deps"
@@ -35,8 +36,9 @@ const maxIITries = 4096
 
 // Schedule modulo-schedules the loop body (body plus loop control) on m.
 // Operations occupy functional units; the conditional jump occupies the
-// branch slot of its cycle.
-func Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
+// branch slot of its cycle. The II search checks ctx between candidate
+// intervals, so a cancelled or timed-out context stops the search.
+func Schedule(ctx context.Context, spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
 	info := deps.Analyze(spec)
 	ext := deps.ExtendedBody(spec)
 	n := len(ext)
@@ -53,6 +55,9 @@ func Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
 	}
 
 	for ii := minII; ii < minII+maxIITries; ii++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if times, ok := try(spec, info, ext, m, ii); ok {
 			mk := 0
 			for _, t := range times {

@@ -1,6 +1,7 @@
 package modulo
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/deps"
@@ -14,7 +15,7 @@ func TestModuloIntegralII(t *testing.T) {
 	// fractional 1.5 is out of reach for a single-iteration scheduler.
 	spec := livermore.ByName("LL12").Spec
 	m := machine.New(4)
-	res, err := Schedule(spec, m)
+	res, err := Schedule(context.Background(), spec, m)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestModuloIntegralII(t *testing.T) {
 func TestModuloRespectsRecurrence(t *testing.T) {
 	spec := livermore.ByName("LL5").Spec
 	info := deps.Analyze(spec)
-	res, err := Schedule(spec, machine.New(8))
+	res, err := Schedule(context.Background(), spec, machine.New(8))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestModuloRespectsRecurrence(t *testing.T) {
 func TestModuloScheduleLegality(t *testing.T) {
 	for _, k := range livermore.All() {
 		m := machine.New(4)
-		res, err := Schedule(k.Spec, m)
+		res, err := Schedule(context.Background(), k.Spec, m)
 		if err != nil {
 			t.Fatalf("%s: %v", k.Name, err)
 		}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/ir"
@@ -26,7 +27,7 @@ func cloneTestLoop() *ir.LoopSpec {
 // rendering, valid invariants, same op list, and an allocator that
 // continues from the same point.
 func TestUnwoundCloneIdentical(t *testing.T) {
-	res, err := PerfectPipeline(cloneTestLoop(), DefaultConfig(machine.New(2)))
+	res, err := PerfectPipeline(context.Background(), cloneTestLoop(), DefaultConfig(machine.New(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestUnwoundCloneIdentical(t *testing.T) {
 // TestCloneIsolation mutates the clone and requires the original to be
 // untouched.
 func TestCloneIsolation(t *testing.T) {
-	res, err := PerfectPipeline(cloneTestLoop(), DefaultConfig(machine.New(2)))
+	res, err := PerfectPipeline(context.Background(), cloneTestLoop(), DefaultConfig(machine.New(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestCloneIsolation(t *testing.T) {
 // simulator against the original's results.
 func TestCloneSimulatesIdentically(t *testing.T) {
 	spec := cloneTestLoop()
-	res, err := PerfectPipeline(spec, DefaultConfig(machine.New(2)))
+	res, err := PerfectPipeline(context.Background(), spec, DefaultConfig(machine.New(2)))
 	if err != nil {
 		t.Fatal(err)
 	}

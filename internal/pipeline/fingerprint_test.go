@@ -1,0 +1,98 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TestConfigFingerprint pins the canonical-key properties the result
+// caches build on: machine and every knob discriminate, zero-valued
+// defaulted fields normalize, and the diagnostic TraceNode is excluded.
+func TestConfigFingerprint(t *testing.T) {
+	base := DefaultConfig(machine.New(4))
+	distinct := []Config{
+		base,
+		DefaultConfig(machine.New(8)),
+		DefaultConfig(machine.Infinite()),
+	}
+	mutate := []func(*Config){
+		func(c *Config) { c.Unwind = 8 },
+		func(c *Config) { c.MaxUnwind = 48 },
+		func(c *Config) { c.Optimize = false },
+		func(c *Config) { c.GapPrevention = false },
+		func(c *Config) { c.EmptyPrelude = 4 },
+		func(c *Config) { c.Renaming = true },
+		func(c *Config) { c.Periods = 5 },
+	}
+	for _, m := range mutate {
+		c := base
+		m(&c)
+		distinct = append(distinct, c)
+	}
+	seen := map[string]Config{}
+	for _, c := range distinct {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("configs %+v and %+v share fingerprint %q", prev, c, fp)
+		}
+		seen[fp] = c
+	}
+
+	// Zero defaulted fields normalize to the explicit defaults.
+	zeroed := base
+	zeroed.MaxUnwind, zeroed.Periods = 0, 0
+	if zeroed.Fingerprint() != base.Fingerprint() {
+		t.Errorf("zeroed defaults fingerprint %q != default config %q",
+			zeroed.Fingerprint(), base.Fingerprint())
+	}
+
+	// TraceNode is diagnostic and must not key the cache.
+	traced := base
+	traced.TraceNode = func(*graph.Node, []*ir.Op) {}
+	if traced.Fingerprint() != base.Fingerprint() {
+		t.Error("TraceNode leaked into the fingerprint")
+	}
+}
+
+func cancelTestLoop() *ir.LoopSpec {
+	return &ir.LoopSpec{
+		Name: "cancel",
+		Body: []ir.BodyOp{
+			ir.BLoad("a", ir.Aff("A", 1, 0)),
+			ir.BMul("b", "a", "a"),
+			ir.BAdd("c", "b", "a"),
+			ir.BStore(ir.Aff("X", 1, 0), "c"),
+		},
+		Step: 1, TripVar: "n",
+	}
+}
+
+// TestPerfectPipelineCancellation: an already-cancelled context stops
+// the run before any scheduling, and a deadline interrupts a running
+// schedule with context.DeadlineExceeded.
+func TestPerfectPipelineCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PerfectPipeline(cancelled, cancelTestLoop(), DefaultConfig(machine.New(2))); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	ctx, stop := context.WithTimeout(context.Background(), time.Millisecond)
+	defer stop()
+	cfg := DefaultConfig(machine.New(2))
+	cfg.Unwind = 96
+	start := time.Now()
+	_, err := PerfectPipeline(ctx, cancelTestLoop(), cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline: err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; checkpoints are not reached", elapsed)
+	}
+}

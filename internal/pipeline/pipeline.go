@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,15 +36,50 @@ type Config struct {
 	TraceNode func(n *graph.Node, moveable []*ir.Op)
 }
 
+// Defaults applied when the corresponding Config field is zero.
+const (
+	// DefaultMaxUnwind caps the automatic unwind ladder.
+	DefaultMaxUnwind = 96
+	// DefaultPeriods is the pattern-verification length.
+	DefaultPeriods = 3
+)
+
 // DefaultConfig returns the paper-faithful configuration for machine m.
 func DefaultConfig(m machine.Machine) Config {
 	return Config{
 		Machine:       m,
-		MaxUnwind:     96,
+		MaxUnwind:     DefaultMaxUnwind,
 		Optimize:      true,
 		GapPrevention: true,
-		Periods:       3,
+		Periods:       DefaultPeriods,
 	}
+}
+
+// Knobs returns a canonical encoding of the machine-independent
+// scheduling knobs, normalized so a zero-valued defaulted field
+// (MaxUnwind, Periods) encodes identically to its explicit default.
+// TraceNode is diagnostic output and deliberately excluded: it cannot
+// change the schedule.
+func (c Config) Knobs() string {
+	max := c.MaxUnwind
+	if max <= 0 {
+		max = DefaultMaxUnwind
+	}
+	per := c.Periods
+	if per <= 0 {
+		per = DefaultPeriods
+	}
+	return fmt.Sprintf("cfg|u=%d|max=%d|opt=%t|gap=%t|pre=%d|ren=%t|per=%d",
+		c.Unwind, max, c.Optimize, c.GapPrevention, c.EmptyPrelude, c.Renaming, per)
+}
+
+// Fingerprint returns a canonical key of everything that determines a
+// pipelining run's output — the machine model and the scheduling knobs
+// — in the same spirit as ir.LoopSpec.Fingerprint. Joined with a loop
+// fingerprint it uniquely identifies a (loop, machine, configuration)
+// experiment, the unit result caches key on.
+func (c Config) Fingerprint() string {
+	return c.Machine.Fingerprint() + "|" + c.Knobs()
 }
 
 // Result reports a pipelining run.
@@ -69,12 +105,17 @@ type Result struct {
 // converges (or MaxUnwind is reached, in which case the best-effort
 // result has Converged false — which is itself meaningful: without gap
 // prevention many loops never converge, the paper's Figure 9).
-func PerfectPipeline(spec *ir.LoopSpec, cfg Config) (*Result, error) {
+//
+// ctx cancels the run: the convergence ladder checks it between unwind
+// factors and the GRiP step loop checks it between migrations, so a
+// cancelled or timed-out context stops the computation promptly and
+// returns its error.
+func PerfectPipeline(ctx context.Context, spec *ir.LoopSpec, cfg Config) (*Result, error) {
 	factors := []int{cfg.Unwind}
 	if cfg.Unwind == 0 {
 		max := cfg.MaxUnwind
 		if max <= 0 {
-			max = 96
+			max = DefaultMaxUnwind
 		}
 		factors = nil
 		for u := 12; u <= max; u *= 2 {
@@ -83,7 +124,10 @@ func PerfectPipeline(spec *ir.LoopSpec, cfg Config) (*Result, error) {
 	}
 	var last *Result
 	for _, u := range factors {
-		res, err := pipelineOnce(spec, cfg, u)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := pipelineOnce(ctx, spec, cfg, u)
 		if err != nil {
 			return nil, err
 		}
@@ -95,7 +139,7 @@ func PerfectPipeline(spec *ir.LoopSpec, cfg Config) (*Result, error) {
 	return last, nil
 }
 
-func pipelineOnce(spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
+func pipelineOnce(ctx context.Context, spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
 	uw, err := Unwind(spec, u)
 	if err != nil {
 		return nil, err
@@ -105,8 +149,8 @@ func pipelineOnce(spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
 	}
 	g := uw.BuildGraph()
 	ddg := deps.Build(uw.Ops)
-	ctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
-	stats, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{
+	pctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	stats, err := core.Schedule(ctx, pctx, uw.Ops, deps.NewPriority(ddg), core.Options{
 		GapPrevention: cfg.GapPrevention,
 		EmptyPrelude:  cfg.EmptyPrelude,
 		Renaming:      cfg.Renaming,
@@ -118,7 +162,7 @@ func pipelineOnce(spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
 	res := &Result{Spec: spec, U: u, Stats: stats, Unwound: uw, Rows: len(g.MainChain())}
 	periods := cfg.Periods
 	if periods == 0 {
-		periods = 3
+		periods = DefaultPeriods
 	}
 	if k, ok := DetectPattern(g, periods); ok {
 		res.Converged = true
@@ -139,7 +183,7 @@ func pipelineOnce(spec *ir.LoopSpec, cfg Config, u int) (*Result, error) {
 // comparison (Figure 6): unwind n iterations, compact the block with
 // GRiP as straight-line code, and retain the back edge. The speedup is
 // over the whole n-iteration block, with no steady-state reformation.
-func SimplePipeline(spec *ir.LoopSpec, cfg Config, n int) (*Result, error) {
+func SimplePipeline(ctx context.Context, spec *ir.LoopSpec, cfg Config, n int) (*Result, error) {
 	uw, err := Unwind(spec, n)
 	if err != nil {
 		return nil, err
@@ -149,8 +193,8 @@ func SimplePipeline(spec *ir.LoopSpec, cfg Config, n int) (*Result, error) {
 	}
 	g := uw.BuildGraph()
 	ddg := deps.Build(uw.Ops)
-	ctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
-	stats, err := core.Schedule(ctx, uw.Ops, deps.NewPriority(ddg), core.Options{
+	pctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	stats, err := core.Schedule(ctx, pctx, uw.Ops, deps.NewPriority(ddg), core.Options{
 		Renaming: cfg.Renaming,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -107,7 +108,7 @@ func TestOptimizeForwardsRecurrenceLoad(t *testing.T) {
 
 func TestOptimizePreservesSemantics(t *testing.T) {
 	spec := saxpyLoop()
-	res, err := PerfectPipeline(spec, DefaultConfig(machine.New(4)))
+	res, err := PerfectPipeline(context.Background(), spec, DefaultConfig(machine.New(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestDetectPatternRejectsPreludeWork(t *testing.T) {
 	cfg.Optimize = false
 	cfg.GapPrevention = false
 	cfg.Unwind = 16
-	res, err := PerfectPipeline(spec, cfg)
+	res, err := PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestDetectPatternRejectsPreludeWork(t *testing.T) {
 	}
 
 	cfg.GapPrevention = true
-	res2, err := PerfectPipeline(spec, cfg)
+	res2, err := PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,11 +202,11 @@ func TestSimplePipelineSlowerThanPerfect(t *testing.T) {
 	spec := figExample()
 	cfg := DefaultConfig(machine.New(3))
 	cfg.Optimize = false
-	simple, err := SimplePipeline(spec, cfg, 4)
+	simple, err := SimplePipeline(context.Background(), spec, cfg, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	perfect, err := PerfectPipeline(spec, cfg)
+	perfect, err := PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,7 +222,7 @@ func TestMeasuredRate(t *testing.T) {
 	spec := dotLoop()
 	cfg := DefaultConfig(machine.New(4))
 	cfg.Unwind = 24
-	res, err := PerfectPipeline(spec, cfg)
+	res, err := PerfectPipeline(context.Background(), spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestInitStateBindsInterface(t *testing.T) {
 }
 
 func TestKernelReport(t *testing.T) {
-	res, err := PerfectPipeline(saxpyLoop(), DefaultConfig(machine.New(4)))
+	res, err := PerfectPipeline(context.Background(), saxpyLoop(), DefaultConfig(machine.New(4)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -86,7 +87,7 @@ func TestRandomLoopsPipelineCorrectly(t *testing.T) {
 			cfg := DefaultConfig(machine.New(fus))
 			cfg.Optimize = rng.Intn(2) == 0
 			cfg.MaxUnwind = 48
-			res, err := PerfectPipeline(spec, cfg)
+			res, err := PerfectPipeline(context.Background(), spec, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}

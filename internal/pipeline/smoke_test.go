@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -55,7 +56,7 @@ func arrays(n int) map[string][]int64 {
 
 func TestSmokePerfectPipelineDot(t *testing.T) {
 	cfg := DefaultConfig(machine.New(4))
-	res, err := PerfectPipeline(dotLoop(), cfg)
+	res, err := PerfectPipeline(context.Background(), dotLoop(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func (r *Result) int64U() int64 { return int64(r.U) }
 func TestSmokePerfectPipelineSaxpy(t *testing.T) {
 	for _, fus := range []int{2, 4, 8} {
 		cfg := DefaultConfig(machine.New(fus))
-		res, err := PerfectPipeline(saxpyLoop(), cfg)
+		res, err := PerfectPipeline(context.Background(), saxpyLoop(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -13,6 +13,8 @@
 package post
 
 import (
+	"context"
+
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -30,12 +32,12 @@ const refillWindow = 3
 // priorities), phase two breaks over-wide instructions, phase three
 // refills locally. The returned result carries the post-pass schedule's
 // kernel metrics.
-func Pipeline(spec *ir.LoopSpec, cfg pipeline.Config) (*pipeline.Result, error) {
-	res, err := pipeline.PerfectPipeline(spec, Phase1Config(cfg))
+func Pipeline(ctx context.Context, spec *ir.LoopSpec, cfg pipeline.Config) (*pipeline.Result, error) {
+	res, err := pipeline.PerfectPipeline(ctx, spec, Phase1Config(cfg))
 	if err != nil {
 		return nil, err
 	}
-	return From(res, cfg)
+	return From(ctx, res, cfg)
 }
 
 // Phase1Config returns the unconstrained configuration POST's first
@@ -54,7 +56,11 @@ func Phase1Config(cfg pipeline.Config) pipeline.Config {
 // mutates res.Unwound in place and returns a result measured on the
 // post-pass schedule; callers reusing one phase-1 result for several
 // targets must pass fresh deep copies (pipeline.Result.Clone).
-func From(res *pipeline.Result, cfg pipeline.Config) (*pipeline.Result, error) {
+//
+// ctx cancels the post-pass between nodes of the break and refill
+// sweeps; on cancellation the (half-processed) unwound graph is
+// abandoned and ctx's error returned.
+func From(ctx context.Context, res *pipeline.Result, cfg pipeline.Config) (*pipeline.Result, error) {
 	target := cfg.Machine
 	spec := res.Spec
 
@@ -63,8 +69,13 @@ func From(res *pipeline.Result, cfg pipeline.Config) (*pipeline.Result, error) {
 	ddg := deps.Build(uw.Ops)
 	pri := deps.NewPriority(ddg)
 
-	breaks := breakNodes(g, target, pri, uw.ExitLive)
-	refill(g, target, pri, uw.ExitLive, breaks)
+	breaks, err := breakNodes(ctx, g, target, pri, uw.ExitLive)
+	if err != nil {
+		return nil, err
+	}
+	if err := refill(ctx, g, target, pri, uw.ExitLive, breaks); err != nil {
+		return nil, err
+	}
 	for _, n := range g.MainChain() {
 		if g.Has(n) && !n.Drain {
 			g.SpliceOutEmpty(n)
@@ -97,13 +108,16 @@ func From(res *pipeline.Result, cfg pipeline.Config) (*pipeline.Result, error) {
 // lowest-priority demotable operations out of every over-wide node into
 // freshly inserted break nodes below it, cascading so that no demoted
 // operation lands beside a dependence partner.
-func breakNodes(g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool) []*graph.Node {
+func breakNodes(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool) ([]*graph.Node, error) {
 	var all []*graph.Node
 	if m.InfiniteOps() {
-		return all
+		return all, nil
 	}
 	chain := g.MainChain()
 	for _, n := range chain {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !g.Has(n) || n.Drain {
 			continue
 		}
@@ -123,7 +137,7 @@ func breakNodes(g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive 
 		}
 		all = append(all, breaks...)
 	}
-	return all
+	return all, nil
 }
 
 // pickDemotable returns the lowest-priority operation of n that can be
@@ -263,22 +277,26 @@ func conflicts(b *graph.Node, op *ir.Op) bool {
 // machinery and no global re-ranking. The locality of this pass (it
 // revisits neither the rest of the schedule nor its own decisions) is
 // what the paper identifies as POST's weakness.
-func refill(g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool, targets []*graph.Node) {
-	ctx := ps.NewCtx(g, m, exitLive)
+func refill(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool, targets []*graph.Node) error {
+	pctx := ps.NewCtx(g, m, exitLive)
 	for _, n := range targets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !g.Has(n) || n.Drain {
 			continue
 		}
 		for m.FitsOps(n.OpCount() + 1) {
-			op := refillCandidate(g, ctx, n, pri)
+			op := refillCandidate(g, pctx, n, pri)
 			if op == nil {
 				break
 			}
-			if !pullTo(ctx, n, op) {
+			if !pullTo(pctx, n, op) {
 				break
 			}
 		}
 	}
+	return nil
 }
 
 // refillCandidate finds the best op within the refill window below n

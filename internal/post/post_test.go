@@ -1,6 +1,7 @@
 package post
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/livermore"
@@ -12,7 +13,7 @@ func TestPostRespectsResources(t *testing.T) {
 	k := livermore.ByName("LL1")
 	for _, fus := range []int{2, 4} {
 		cfg := pipeline.DefaultConfig(machine.New(fus))
-		res, err := Pipeline(k.Spec, cfg)
+		res, err := Pipeline(context.Background(), k.Spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,7 +40,7 @@ func TestPostRespectsResources(t *testing.T) {
 func TestPostSemanticsPreserved(t *testing.T) {
 	k := livermore.ByName("LL10")
 	cfg := pipeline.DefaultConfig(machine.New(4))
-	res, err := Pipeline(k.Spec, cfg)
+	res, err := Pipeline(context.Background(), k.Spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestPostNeverBeatsBoundlessGrip(t *testing.T) {
 	// slow it down.
 	k := livermore.ByName("LL12")
 	cfg := pipeline.DefaultConfig(machine.New(8))
-	res, err := Pipeline(k.Spec, cfg)
+	res, err := Pipeline(context.Background(), k.Spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,19 +1,20 @@
 package sched
 
 import (
-	"repro/internal/ir"
+	"context"
+
 	"repro/internal/listsched"
 	"repro/internal/lru"
-	"repro/internal/machine"
 	"repro/internal/modulo"
 	"repro/internal/pipeline"
 	"repro/internal/post"
 )
 
 // phase1MemoCap bounds the POST phase-1 memo. Keep it comfortably
-// above the workload corpus (14 Livermore kernels today) so a full
-// table run never evicts mid-batch and silently recomputes the work
-// the memo exists to dedupe.
+// above the workload corpus (14 Livermore kernels today, times the
+// handful of configurations a sweep touches) so a full table run never
+// evicts mid-batch and silently recomputes the work the memo exists to
+// dedupe.
 const phase1MemoCap = 64
 
 // The four paper techniques register themselves under the names the CLI
@@ -49,8 +50,8 @@ type gripScheduler struct{}
 
 func (gripScheduler) Name() string { return "grip" }
 
-func (gripScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
-	res, err := pipeline.PerfectPipeline(spec, pipeline.DefaultConfig(m))
+func (gripScheduler) Schedule(ctx context.Context, req Request) (*Result, error) {
+	res, err := pipeline.PerfectPipeline(ctx, req.Spec, req.Config.Pipeline(req.Machine))
 	if err != nil {
 		return nil, err
 	}
@@ -60,45 +61,49 @@ func (gripScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, er
 // postScheduler is the POST baseline. Its first phase — Perfect
 // Pipelining at infinite resources — does not depend on the target
 // machine's functional-unit count, so the adapter memoizes phase-1
-// results per loop and hands each post-pass a deep copy. Cloning
-// preserves IDs and allocator state, so the post-pass on a copy is
-// bit-identical to a from-scratch run (batch_test proves it).
+// results per (loop, phase-1 configuration) and hands each post-pass a
+// deep copy. Cloning preserves IDs and allocator state, so the
+// post-pass on a copy is bit-identical to a from-scratch run
+// (batch_test proves it). The memo key carries the full phase-1 config
+// fingerprint: requests differing in, say, unwind factor must not share
+// phase-1 schedules.
 type postScheduler struct {
 	memo *phase1Memo
 }
 
 func (postScheduler) Name() string { return "post" }
 
-func (s postScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
-	cfg := pipeline.DefaultConfig(m)
+func (s postScheduler) Schedule(ctx context.Context, req Request) (*Result, error) {
+	cfg := req.Config.Pipeline(req.Machine)
 	p1cfg := post.Phase1Config(cfg)
-	key := spec.Fingerprint() + "|" + p1cfg.Machine.Fingerprint()
+	key := req.Spec.Fingerprint() + "|" + p1cfg.Fingerprint()
 	phase1, err := s.memo.get(key, func() (*pipeline.Result, error) {
-		return pipeline.PerfectPipeline(spec, p1cfg)
+		return pipeline.PerfectPipeline(ctx, req.Spec, p1cfg)
 	})
 	if err != nil {
 		return nil, err
 	}
-	res, err := post.From(phase1.Clone(), cfg)
+	res, err := post.From(ctx, phase1.Clone(), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return fromPipeline("post", res), nil
 }
 
-// moduloScheduler is the iterative modulo-scheduling baseline.
+// moduloScheduler is the iterative modulo-scheduling baseline. The
+// pipelining knobs in req.Config do not apply to it.
 type moduloScheduler struct{}
 
 func (moduloScheduler) Name() string { return "modulo" }
 
-func (moduloScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
-	res, err := modulo.Schedule(spec, m)
+func (moduloScheduler) Schedule(ctx context.Context, req Request) (*Result, error) {
+	res, err := modulo.Schedule(ctx, req.Spec, req.Machine)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{
 		Technique:      "modulo",
-		Loop:           spec.Name,
+		Loop:           req.Spec.Name,
 		CyclesPerIter:  float64(res.II),
 		Speedup:        res.Speedup,
 		Converged:      true,
@@ -109,16 +114,21 @@ func (moduloScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, 
 	}, nil
 }
 
-// listScheduler is plain greedy compaction of one iteration.
+// listScheduler is plain greedy compaction of one iteration. The
+// pipelining knobs in req.Config do not apply to it; the single pass is
+// fast enough that only an already-expired context is worth honoring.
 type listScheduler struct{}
 
 func (listScheduler) Name() string { return "list" }
 
-func (listScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
-	res := listsched.Schedule(spec, m)
+func (listScheduler) Schedule(ctx context.Context, req Request) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := listsched.Schedule(req.Spec, req.Machine)
 	return &Result{
 		Technique:      "list",
-		Loop:           spec.Name,
+		Loop:           req.Spec.Name,
 		CyclesPerIter:  float64(res.Cycles),
 		Speedup:        res.Speedup,
 		Converged:      true,
@@ -133,7 +143,9 @@ func (listScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, er
 // Entries are only ever read (and cloned); concurrent getters of a
 // missing key may compute it twice, which is wasteful but correct —
 // scheduling is deterministic, so both computations agree, and the
-// first stored entry wins for stable sharing.
+// first stored entry wins for stable sharing. A compute cancelled by
+// its context returns the context's error and stores nothing, so a
+// timed-out request never poisons the memo for later ones.
 type phase1Memo struct {
 	lru *lru.Cache[string, *pipeline.Result]
 }

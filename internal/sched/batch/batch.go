@@ -1,13 +1,15 @@
 // Package batch executes scheduling jobs against the sched registry
 // concurrently: a worker pool with configurable parallelism, context
-// cancellation, per-job timeouts, and an LRU result cache keyed by a
-// canonical fingerprint of (loop spec, machine, technique), so repeated
-// cells — bench reruns, Table 1 summary recomputations, validation
-// passes — cost nothing.
+// cancellation, per-job timeouts, and an LRU result cache with
+// single-flight dedup keyed by a canonical fingerprint of (technique,
+// loop spec, machine, configuration), so repeated cells — bench reruns,
+// Table 1 summary recomputations, validation passes, config sweeps —
+// cost nothing.
 package batch
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -19,11 +21,17 @@ import (
 	"repro/internal/sched"
 )
 
-// Job is one scheduling request: run Technique for Spec on Machine.
+// Job is one scheduling request: run Technique for Spec on Machine
+// under Config.
 type Job struct {
 	Technique string
 	Spec      *ir.LoopSpec
 	Machine   machine.Machine
+	// Config overrides the technique's paper-default configuration for
+	// this job; the zero value is the paper default. Its fingerprint
+	// joins Key, so jobs differing only in configuration (a sweep over
+	// unwind factors, say) occupy distinct cache entries.
+	Config sched.Config
 	// Label is a display name for reports (e.g. the Livermore kernel
 	// name); it does not participate in the cache key. Empty means the
 	// spec's own name.
@@ -38,20 +46,28 @@ func (j Job) DisplayName() string {
 	return j.Spec.Name
 }
 
-// Key returns the job's canonical cache key. Every backend runs its
-// paper-default configuration, so (technique, loop, machine) is the
-// whole identity of a job; when per-job configuration overrides land
-// (see ROADMAP), their fingerprint joins the key.
+// Request returns the job as the registry's first-class request triple.
+func (j Job) Request() sched.Request {
+	return sched.Request{Spec: j.Spec, Machine: j.Machine, Config: j.Config}
+}
+
+// Key returns the job's canonical cache key: the technique joined with
+// the request fingerprint, which covers the loop, the machine, and the
+// configuration. Two jobs with equal keys produce bit-identical
+// results.
 func (j Job) Key() string {
-	return j.Technique + "|" + j.Spec.Fingerprint() + "|" + j.Machine.Fingerprint()
+	return j.Technique + "|" + j.Request().Fingerprint()
 }
 
 // Outcome is the result of one job. Outcomes are returned in job order
 // regardless of execution order, so batch output is deterministic.
 type Outcome struct {
-	Job      Job
-	Result   *sched.Result
-	Err      error
+	Job    Job
+	Result *sched.Result
+	Err    error
+	// Wall is the time this job spent computing; zero when the result
+	// came from the cache or from another job's shared in-flight
+	// computation (CacheHit true).
 	Wall     time.Duration
 	CacheHit bool
 }
@@ -60,27 +76,31 @@ type Outcome struct {
 type Options struct {
 	// Parallelism is the worker count; 0 means GOMAXPROCS.
 	Parallelism int
-	// Timeout bounds each job's wall time; 0 means no limit. A job that
-	// exceeds it fails with context.DeadlineExceeded. The underlying
-	// scheduler goroutine is abandoned (the techniques are pure CPU
-	// functions with no cancellation points) and its result discarded.
+	// Timeout bounds each job's wall time — computing, or waiting on
+	// another job's shared in-flight computation; 0 means no limit. A
+	// job that exceeds it fails with context.DeadlineExceeded. Backends
+	// observe the deadline through the context threaded into their step
+	// loops, so the computation itself stops — nothing is abandoned to
+	// burn CPU in the background. (A backend that never checks its
+	// context effectively has no timeout; all registered techniques
+	// check.)
 	Timeout time.Duration
 	// Cache, when set, is consulted before running a job and updated
 	// after a success. Callers can share one cache across batches.
-	// There is no single-flight dedup: identical jobs in flight at the
-	// same time each compute (deterministically identical) results and
-	// the last one wins; dedupe duplicate jobs before submitting if
-	// that cost matters.
+	// Identical in-flight jobs (same fingerprint key) share one
+	// computation — single-flight dedup — so submitting duplicates is
+	// merely redundant, not wasteful.
 	Cache *Cache
 }
 
 // Run executes the jobs and returns one outcome per job, in job order.
-// Cancelling ctx stops dispatching new jobs; jobs not yet started fail
-// with ctx.Err(). The returned error is ctx.Err() when the run was cut
-// short — some job was skipped or interrupted by the context — and nil
-// otherwise, even if ctx expires after the last job finished. Per-job
-// failures are reported in the outcomes, not the run error, so one
-// diverging cell doesn't hide the rest.
+// Cancelling ctx stops dispatching new jobs and interrupts running
+// ones; jobs not yet started fail with ctx.Err(). The returned error is
+// ctx.Err() when the run was cut short — some job was skipped or
+// interrupted by the context — and nil otherwise, even if ctx expires
+// after the last job finished. Per-job failures are reported in the
+// outcomes, not the run error, so one diverging cell doesn't hide the
+// rest.
 func Run(ctx context.Context, jobs []Job, opts Options) ([]Outcome, error) {
 	workers := EffectiveParallelism(opts.Parallelism, len(jobs))
 	outcomes := make([]Outcome, len(jobs))
@@ -131,6 +151,10 @@ func EffectiveParallelism(p, n int) int {
 	return p
 }
 
+// runOne runs one job on the worker's own goroutine. Cancellation is
+// cooperative: the backend's step loop observes the job context and
+// returns its error, which mapErr turns into the batch context's error
+// (run cut short) or a per-job DeadlineExceeded.
 func runOne(ctx context.Context, j Job, opts Options, cut *atomic.Bool) Outcome {
 	out := Outcome{Job: j}
 	if err := ctx.Err(); err != nil {
@@ -138,59 +162,50 @@ func runOne(ctx context.Context, j Job, opts Options, cut *atomic.Bool) Outcome 
 		out.Err = err
 		return out
 	}
-	var key string
-	if opts.Cache != nil {
-		key = j.Key()
-		if r, ok := opts.Cache.Get(key); ok {
-			out.Result = r
-			out.CacheHit = true
-			return out
-		}
+	// The per-job budget covers everything below: computing, and
+	// waiting on another job's shared in-flight computation.
+	runCtx := ctx
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
 	}
-	s, ok := sched.Lookup(j.Technique)
-	if !ok {
-		out.Err = fmt.Errorf("batch: unknown technique %q (have %v)", j.Technique, sched.Names())
-		return out
+	compute := func() (*sched.Result, error) {
+		s, ok := sched.Lookup(j.Technique)
+		if !ok {
+			return nil, fmt.Errorf("batch: unknown technique %q (have %v)", j.Technique, sched.Names())
+		}
+		return s.Schedule(runCtx, j.Request())
 	}
 	start := time.Now()
-	out.Result, out.Err = schedule(ctx, s, j, opts.Timeout, cut)
-	out.Wall = time.Since(start)
-	if out.Err == nil && opts.Cache != nil {
-		opts.Cache.Put(key, out.Result)
+	if opts.Cache != nil {
+		var shared bool
+		out.Result, shared, out.Err = opts.Cache.GetOrCompute(runCtx, j.Key(), compute)
+		out.CacheHit = shared
+		if !shared {
+			out.Wall = time.Since(start)
+		}
+	} else {
+		out.Result, out.Err = compute()
+		out.Wall = time.Since(start)
 	}
+	out.Err = mapErr(ctx, runCtx, j, out.Err, cut)
 	return out
 }
 
-// schedule runs one job, bounded by the per-job timeout and the batch
-// context. Without either bound it calls the scheduler directly; with a
-// bound the scheduler runs in its own goroutine and an expiry abandons
-// it (documented in Options.Timeout).
-func schedule(ctx context.Context, s sched.Scheduler, j Job, timeout time.Duration, cut *atomic.Bool) (*sched.Result, error) {
-	if timeout <= 0 && ctx.Done() == nil {
-		return s.Schedule(j.Spec, j.Machine)
+// mapErr classifies a job failure: the batch context's own error cuts
+// the run short, a per-job deadline becomes a labeled DeadlineExceeded,
+// and anything else passes through.
+func mapErr(ctx, runCtx context.Context, j Job, err error, cut *atomic.Bool) error {
+	if err == nil {
+		return nil
 	}
-	type reply struct {
-		res *sched.Result
-		err error
-	}
-	ch := make(chan reply, 1)
-	go func() {
-		res, err := s.Schedule(j.Spec, j.Machine)
-		ch <- reply{res, err}
-	}()
-	var expiry <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		expiry = t.C
-	}
-	select {
-	case r := <-ch:
-		return r.res, r.err
-	case <-expiry:
-		return nil, fmt.Errorf("batch: %s on %s: %w", j.Technique, j.Spec.Name, context.DeadlineExceeded)
-	case <-ctx.Done():
+	if cause := ctx.Err(); cause != nil && errors.Is(err, cause) {
 		cut.Store(true)
-		return nil, ctx.Err()
+		return cause
 	}
+	if errors.Is(err, context.DeadlineExceeded) && runCtx.Err() != nil {
+		return fmt.Errorf("batch: %s on %s: %w", j.Technique, j.DisplayName(), context.DeadlineExceeded)
+	}
+	return err
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -27,21 +28,28 @@ func tinyLoop(name string) *ir.LoopSpec {
 	}
 }
 
-// stubScheduler counts calls and optionally blocks until released.
+// stubScheduler counts calls and optionally blocks until released; like
+// every well-behaved backend it observes its context while blocked.
 type stubScheduler struct {
-	name  string
-	calls atomic.Int64
-	gate  chan struct{} // nil = return immediately
+	name      string
+	calls     atomic.Int64
+	cancelled atomic.Int64  // completions due to ctx, not the gate
+	gate      chan struct{} // nil = return immediately
 }
 
 func (s *stubScheduler) Name() string { return s.name }
 
-func (s *stubScheduler) Schedule(spec *ir.LoopSpec, m machine.Machine) (*sched.Result, error) {
+func (s *stubScheduler) Schedule(ctx context.Context, req sched.Request) (*sched.Result, error) {
 	s.calls.Add(1)
 	if s.gate != nil {
-		<-s.gate
+		select {
+		case <-s.gate:
+		case <-ctx.Done():
+			s.cancelled.Add(1)
+			return nil, ctx.Err()
+		}
 	}
-	return &sched.Result{Technique: s.name, Loop: spec.Name, Speedup: 1, Converged: true}, nil
+	return &sched.Result{Technique: s.name, Loop: req.Spec.Name, Speedup: 1, Converged: true}, nil
 }
 
 var registerOnce sync.Once
@@ -180,6 +188,58 @@ func TestKeyDiscriminates(t *testing.T) {
 	if a.Key() != e.Key() {
 		t.Error("Label leaked into the cache key")
 	}
+	f := a
+	f.Config = sched.Config{Unwind: 8}
+	g := a
+	g.Config = sched.Config{Unwind: 16}
+	if a.Key() == f.Key() || f.Key() == g.Key() {
+		t.Error("config (unwind factor) did not change the cache key")
+	}
+	h := a
+	h.Config = sched.Config{MaxUnwind: 96, Periods: 3} // the explicit defaults
+	if a.Key() != h.Key() {
+		t.Error("explicitly defaulted config keyed differently from the zero config")
+	}
+}
+
+// TestConfigCachesIndependently runs the same (technique, loop,
+// machine) cell under two unwind factors through one cache: the two
+// configurations must occupy distinct entries (both first runs miss),
+// and each must hit its own entry on rerun with bit-identical results.
+func TestConfigCachesIndependently(t *testing.T) {
+	cache := batch.NewCache(8)
+	spec := tinyLoop("sweep")
+	jobs := []batch.Job{
+		{Technique: "grip", Spec: spec, Machine: machine.New(2), Config: sched.Config{Unwind: 8}},
+		{Technique: "grip", Spec: spec, Machine: machine.New(2), Config: sched.Config{Unwind: 16}},
+	}
+	first, err := batch.Run(context.Background(), jobs, batch.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range first {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.CacheHit {
+			t.Errorf("job %d: first run hit the cache; configs are not distinct entries", i)
+		}
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries for 2 configs, want 2", cache.Len())
+	}
+	second, err := batch.Run(context.Background(), jobs, batch.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range second {
+		if !o.CacheHit {
+			t.Errorf("job %d: rerun with identical config missed the cache", i)
+		}
+		if o.Result != first[i].Result {
+			t.Errorf("job %d: rerun returned a different result pointer", i)
+		}
+	}
 }
 
 func TestCancellationMidBatch(t *testing.T) {
@@ -223,6 +283,7 @@ func TestCancellationMidBatch(t *testing.T) {
 
 func TestPerJobTimeout(t *testing.T) {
 	stubs()
+	before := blockStub.cancelled.Load()
 	jobs := []batch.Job{
 		{Technique: "test-block", Spec: tinyLoop("slow"), Machine: machine.New(2)},
 		{Technique: "list", Spec: tinyLoop("fast"), Machine: machine.New(2)},
@@ -236,6 +297,145 @@ func TestPerJobTimeout(t *testing.T) {
 	}
 	if outs[1].Err != nil {
 		t.Errorf("fast job failed: %v", outs[1].Err)
+	}
+	// The timeout didn't just release the caller — the scheduler itself
+	// observed the context and stopped.
+	if got := blockStub.cancelled.Load(); got != before+1 {
+		t.Errorf("scheduler cancellations = %d, want %d: the timed-out computation kept running", got, before+1)
+	}
+}
+
+// TestTimeoutStopsRealScheduler is the acceptance test for cooperative
+// cancellation through the whole stack: a real GRiP job on a large
+// fixed unwinding with a tiny timeout must fail with DeadlineExceeded
+// AND leave no scheduler goroutine behind — the engine runs backends on
+// its worker goroutines and the step loops observe the context, so when
+// Run returns, nothing is still burning CPU on the abandoned schedule.
+func TestTimeoutStopsRealScheduler(t *testing.T) {
+	spec := &ir.LoopSpec{
+		Name: "wide",
+		Body: []ir.BodyOp{
+			ir.BLoad("a", ir.Aff("A", 1, 0)),
+			ir.BLoad("b", ir.Aff("B", 1, 0)),
+			ir.BMul("c", "a", "b"),
+			ir.BMul("d", "a", "c"),
+			ir.BAdd("e", "c", "d"),
+			ir.BMul("f", "e", "b"),
+			ir.BAdd("g", "f", "a"),
+			ir.BStore(ir.Aff("X", 1, 0), "g"),
+		},
+		Step: 1, TripVar: "n",
+	}
+	baseline := runtime.NumGoroutine()
+	jobs := []batch.Job{{
+		Technique: "grip", Spec: spec, Machine: machine.New(2),
+		Config: sched.Config{Unwind: 96},
+	}}
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{Timeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(outs[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", outs[0].Err)
+	}
+	if outs[0].Result != nil {
+		t.Error("timed-out job returned a result")
+	}
+	// No goroutine may outlive the run. Poll briefly: the runtime needs
+	// a moment to retire the worker goroutines Run already waited on.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("%d goroutines outlive the batch (baseline %d): scheduler work leaked", g, baseline)
+	}
+}
+
+// TestSingleFlightDedup submits one job four times concurrently against
+// a shared cache: single-flight must collapse them to exactly one
+// scheduler call, with every outcome getting the shared result.
+func TestSingleFlightDedup(t *testing.T) {
+	stubs()
+	flightStub := &stubScheduler{name: "test-flight", gate: make(chan struct{})}
+	sched.Register(flightStub)
+	cache := batch.NewCache(8)
+	job := batch.Job{Technique: "test-flight", Spec: tinyLoop("dedup"), Machine: machine.New(2)}
+	jobs := []batch.Job{job, job, job, job}
+	go func() {
+		// Let the batch wedge on the leader's computation, then release.
+		time.Sleep(20 * time.Millisecond)
+		close(flightStub.gate)
+	}()
+	outs, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: 4, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaders := 0
+	for i, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("job %d: %v", i, o.Err)
+		}
+		if o.Result != outs[0].Result {
+			t.Errorf("job %d: got a different result pointer; computation not shared", i)
+		}
+		if !o.CacheHit {
+			leaders++
+		}
+	}
+	if got := flightStub.calls.Load(); got != 1 {
+		t.Errorf("scheduler ran %d times for 4 identical in-flight jobs, want 1", got)
+	}
+	if leaders != 1 {
+		t.Errorf("%d outcomes report CacheHit=false, want exactly the leader", leaders)
+	}
+	hits, misses := cache.Stats()
+	if hits != 3 || misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 3/1", hits, misses)
+	}
+}
+
+// TestSingleFlightLeaderTimeoutNotShared: a leader cancelled by its own
+// per-job timeout must not poison a later-arriving duplicate — the
+// waiter retries within its own remaining budget. (The budget covers
+// waiting too: a duplicate submitted at the same instant as the leader
+// deadlines alongside it rather than getting a fresh allowance.)
+func TestSingleFlightLeaderTimeoutNotShared(t *testing.T) {
+	stubs()
+	slowStub := &stubScheduler{name: "test-slow-leader", gate: make(chan struct{})}
+	sched.Register(slowStub)
+	cache := batch.NewCache(8)
+	job := batch.Job{Technique: "test-slow-leader", Spec: tinyLoop("retry"), Machine: machine.New(2)}
+	opts := batch.Options{Timeout: 400 * time.Millisecond, Cache: cache}
+
+	// Timeline: the leader starts at 0 and deadlines at 400ms; the
+	// follower starts at 200 (budget until 600), joins the leader's
+	// flight, sees it fail at 400, retries, and the gate opens at 500 —
+	// inside the follower's remaining budget.
+	go func() {
+		time.Sleep(500 * time.Millisecond)
+		close(slowStub.gate)
+	}()
+	leaderDone := make(chan batch.Outcome, 1)
+	go func() {
+		outs, _ := batch.Run(context.Background(), []batch.Job{job}, opts)
+		leaderDone <- outs[0]
+	}()
+	time.Sleep(200 * time.Millisecond)
+	outs, err := batch.Run(context.Background(), []batch.Job{job}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader := <-leaderDone
+	if !errors.Is(leader.Err, context.DeadlineExceeded) {
+		t.Errorf("leader err = %v, want DeadlineExceeded", leader.Err)
+	}
+	if outs[0].Err != nil || outs[0].Result == nil {
+		t.Errorf("follower did not recover from the leader's timeout: res=%v err=%v",
+			outs[0].Result, outs[0].Err)
+	}
+	if got := slowStub.calls.Load(); got != 2 {
+		t.Errorf("scheduler calls = %d, want 2 (leader + retrying follower)", got)
 	}
 }
 

@@ -6,15 +6,21 @@ import (
 	"time"
 
 	"repro/internal/machine"
+	"repro/internal/sched"
 )
 
 // BenchCell records one job's performance for the benchmark trajectory
 // (BENCH_table1.json): what was scheduled, what it achieved, and what
 // it cost in wall time.
 type BenchCell struct {
-	Loop      string  `json:"loop"`
-	FUs       int     `json:"fus"`
-	Technique string  `json:"technique"`
+	Loop      string `json:"loop"`
+	FUs       int    `json:"fus"`
+	Technique string `json:"technique"`
+	// Config is the job's configuration fingerprint, empty for the
+	// paper default — so reports written before configurations existed
+	// compare cleanly against today's default cells, while sweep cells
+	// carry their identity and never collide across factors.
+	Config    string  `json:"config,omitempty"`
 	Speedup   float64 `json:"speedup"`
 	Converged bool    `json:"converged"`
 	WallMS    float64 `json:"wall_ms"`
@@ -43,6 +49,9 @@ func NewBenchReport(outcomes []Outcome, parallelism int, totalWall time.Duration
 			Technique: o.Job.Technique,
 			WallMS:    float64(o.Wall.Microseconds()) / 1000,
 			CacheHit:  o.CacheHit,
+		}
+		if o.Job.Config != (sched.Config{}) {
+			cell.Config = o.Job.Config.Fingerprint()
 		}
 		if o.Job.Machine.OpSlots != machine.Unlimited {
 			cell.FUs = o.Job.Machine.OpSlots

@@ -1,24 +1,42 @@
 package batch
 
 import (
+	"context"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/lru"
 	"repro/internal/sched"
 )
 
-// Cache is a thread-safe LRU of scheduling results keyed by Job.Key().
+// Cache is a thread-safe LRU of scheduling results keyed by Job.Key(),
+// with single-flight deduplication: concurrent requests for the same
+// key share one computation instead of racing to the same answer.
 // Cached results are shared pointers: treat them (and their Raw
 // payloads) as read-only.
 type Cache struct {
 	lru    *lru.Cache[string, *sched.Result]
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation other callers can wait on.
+// res and err are written before done is closed, never after.
+type flight struct {
+	done chan struct{}
+	res  *sched.Result
+	err  error
 }
 
 // NewCache returns an LRU cache holding up to capacity results.
 func NewCache(capacity int) *Cache {
-	return &Cache{lru: lru.New[string, *sched.Result](capacity)}
+	return &Cache{
+		lru:     lru.New[string, *sched.Result](capacity),
+		flights: make(map[string]*flight),
+	}
 }
 
 // Get returns the cached result for key, marking it most recently used.
@@ -38,10 +56,63 @@ func (c *Cache) Put(key string, res *sched.Result) {
 	c.lru.Put(key, res)
 }
 
+// GetOrCompute returns the result under key, computing it at most once
+// across concurrent callers: the first caller (the leader) runs
+// compute, everyone else either hits the LRU or waits on the leader's
+// flight. shared reports whether the result came from the cache or a
+// shared flight rather than this caller's own compute.
+//
+// A leader's error is not shared: it may be private to that caller (its
+// per-job timeout), so waiters retry — one becomes the next leader —
+// rather than inherit the failure. Errors are never stored in the LRU.
+// A waiter whose own ctx expires stops waiting and returns ctx.Err();
+// the leader's computation is unaffected.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() (*sched.Result, error)) (res *sched.Result, shared bool, err error) {
+	for {
+		c.mu.Lock()
+		if res, ok := c.lru.Get(key); ok {
+			c.mu.Unlock()
+			c.hits.Add(1)
+			return res, true, nil
+		}
+		f, inflight := c.flights[key]
+		if !inflight {
+			f = &flight{done: make(chan struct{})}
+			c.flights[key] = f
+			c.mu.Unlock()
+			c.misses.Add(1)
+			f.res, f.err = compute()
+			if f.err == nil {
+				// Publish to the LRU before retiring the flight so a
+				// caller arriving between the two always finds one.
+				c.lru.Put(key, f.res)
+			}
+			c.mu.Lock()
+			delete(c.flights, key)
+			c.mu.Unlock()
+			close(f.done)
+			return f.res, false, f.err
+		}
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			if f.err == nil {
+				c.hits.Add(1)
+				return f.res, true, nil
+			}
+			// Leader failed; loop and recompute (or join a newer flight).
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
 // Len returns the number of cached results.
 func (c *Cache) Len() int { return c.lru.Len() }
 
-// Stats returns the hit and miss counts since creation.
+// Stats returns the hit and miss counts since creation. Single-flight
+// waiters that received a shared result count as hits; each actual
+// computation counts as one miss.
 func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits.Load(), c.misses.Load()
 }

@@ -11,13 +11,89 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/pipeline"
 )
+
+// Config is a per-request override of a technique's paper-default
+// configuration. The zero value IS the paper default, so boolean knobs
+// are negated (NoOptimize, NoGapPrevention) and zero-valued integer
+// knobs mean "use the default". It is a plain value type: requests and
+// batch jobs embed it by value and its fingerprint joins cache keys.
+//
+// The knobs parameterize the pipelining techniques (grip, post); the
+// single-iteration baselines (modulo, list) have no configuration and
+// ignore them, at the acceptable cost of one cache entry per distinct
+// config.
+type Config struct {
+	// Unwind fixes the unwind factor; 0 means automatic (the ladder of
+	// factors until the pattern converges).
+	Unwind int
+	// MaxUnwind caps automatic unwinding; 0 means the default (96).
+	MaxUnwind int
+	// NoOptimize disables redundant-operation removal.
+	NoOptimize bool
+	// NoGapPrevention disables the section 3.3 machinery (reproducing
+	// the Figure 9 divergence).
+	NoGapPrevention bool
+	// EmptyPrelude inserts this many empty instructions before entry.
+	EmptyPrelude int
+	// Renaming enables the renaming variant of move-op.
+	Renaming bool
+	// Periods is the pattern-verification length; 0 means the default (3).
+	Periods int
+}
+
+// Pipeline expands the override into a full pipeline.Config for machine
+// m, starting from the paper defaults.
+func (c Config) Pipeline(m machine.Machine) pipeline.Config {
+	cfg := pipeline.DefaultConfig(m)
+	cfg.Unwind = c.Unwind
+	if c.MaxUnwind > 0 {
+		cfg.MaxUnwind = c.MaxUnwind
+	}
+	cfg.Optimize = !c.NoOptimize
+	cfg.GapPrevention = !c.NoGapPrevention
+	cfg.EmptyPrelude = c.EmptyPrelude
+	cfg.Renaming = c.Renaming
+	if c.Periods > 0 {
+		cfg.Periods = c.Periods
+	}
+	return cfg
+}
+
+// Fingerprint returns the canonical machine-independent key of the
+// configuration (the machine fingerprints separately in Request
+// fingerprints). Defaulted zero values normalize, so the zero Config
+// and an explicitly defaulted one key identically and share cache
+// entries.
+func (c Config) Fingerprint() string {
+	return c.Pipeline(machine.Machine{}).Knobs()
+}
+
+// Request is one first-class scheduling request: the (workload,
+// machine, configuration) triple that identifies an experiment. Specs
+// are treated as read-only and may be shared across requests.
+type Request struct {
+	Spec    *ir.LoopSpec
+	Machine machine.Machine
+	// Config overrides the technique's paper-default configuration;
+	// the zero value is the paper default.
+	Config Config
+}
+
+// Fingerprint returns the canonical cache key of the request: loop,
+// machine, and configuration. Two requests with equal fingerprints
+// produce bit-identical results under any registered technique.
+func (r Request) Fingerprint() string {
+	return r.Spec.Fingerprint() + "|" + r.Machine.Fingerprint() + "|" + r.Config.Fingerprint()
+}
 
 // Result is the normalized outcome every backend reports, carrying the
 // metrics Table 1 and the CLI compare across techniques.
@@ -53,14 +129,18 @@ type Result struct {
 	Raw any
 }
 
-// Scheduler is one scheduling technique: it maps a loop and a machine
-// model to a normalized result. Implementations must be safe for
-// concurrent use — the batch engine calls Schedule from many goroutines.
+// Scheduler is one scheduling technique: it maps a request (loop,
+// machine, configuration) to a normalized result. Implementations must
+// be safe for concurrent use — the batch engine calls Schedule from
+// many goroutines — and must observe ctx in their step loops: a
+// cancelled or expired context stops the computation and returns its
+// error (wrapped so errors.Is recognizes it). That cooperation is what
+// makes per-job timeouts terminate work instead of leaking goroutines.
 type Scheduler interface {
 	// Name returns the registry name ("grip", "post", ...).
 	Name() string
-	// Schedule runs the technique for spec on m.
-	Schedule(spec *ir.LoopSpec, m machine.Machine) (*Result, error)
+	// Schedule runs the technique for the request under ctx.
+	Schedule(ctx context.Context, req Request) (*Result, error)
 }
 
 var (
@@ -111,12 +191,12 @@ func All() []Scheduler {
 	return ss
 }
 
-// Schedule runs the named backend for spec on m, returning an error for
-// unknown names.
-func Schedule(name string, spec *ir.LoopSpec, m machine.Machine) (*Result, error) {
+// Schedule runs the named backend for the request, returning an error
+// for unknown names.
+func Schedule(ctx context.Context, name string, req Request) (*Result, error) {
 	s, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("sched: unknown scheduler %q (have %v)", name, Names())
 	}
-	return s.Schedule(spec, m)
+	return s.Schedule(ctx, req)
 }

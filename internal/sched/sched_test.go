@@ -1,6 +1,9 @@
 package sched_test
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
 	"repro/internal/ir"
@@ -24,6 +27,10 @@ func dotLoop() *ir.LoopSpec {
 		Step: 1, TripVar: "n",
 		LiveIn: []string{"q"}, LiveOut: []string{"q"},
 	}
+}
+
+func req(spec *ir.LoopSpec, m machine.Machine) sched.Request {
+	return sched.Request{Spec: spec, Machine: m}
 }
 
 func TestRegistryHasAllTechniques(t *testing.T) {
@@ -51,7 +58,7 @@ func TestRegistryHasAllTechniques(t *testing.T) {
 }
 
 func TestScheduleUnknownTechnique(t *testing.T) {
-	if _, err := sched.Schedule("no-such-scheduler", dotLoop(), machine.New(4)); err == nil {
+	if _, err := sched.Schedule(context.Background(), "no-such-scheduler", req(dotLoop(), machine.New(4))); err == nil {
 		t.Fatal("Schedule with unknown name succeeded")
 	}
 	if _, ok := sched.Lookup("no-such-scheduler"); ok {
@@ -64,16 +71,17 @@ func TestScheduleUnknownTechnique(t *testing.T) {
 // technique call, including POST, whose adapter reuses a memoized
 // phase-1 schedule through a deep clone.
 func TestBackendsMatchDirectCalls(t *testing.T) {
+	ctx := context.Background()
 	spec := dotLoop()
 	for _, fus := range []int{2, 4} {
 		m := machine.New(fus)
 		cfg := pipeline.DefaultConfig(m)
 
-		g, err := sched.Schedule("grip", spec, m)
+		g, err := sched.Schedule(ctx, "grip", req(spec, m))
 		if err != nil {
 			t.Fatalf("grip @%dFU: %v", fus, err)
 		}
-		gd, err := pipeline.PerfectPipeline(spec, cfg)
+		gd, err := pipeline.PerfectPipeline(ctx, spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,11 +98,11 @@ func TestBackendsMatchDirectCalls(t *testing.T) {
 		// Run post twice so both the memo-miss and memo-hit paths are
 		// compared against the direct pipeline.
 		for pass := 0; pass < 2; pass++ {
-			p, err := sched.Schedule("post", spec, m)
+			p, err := sched.Schedule(ctx, "post", req(spec, m))
 			if err != nil {
 				t.Fatalf("post @%dFU: %v", fus, err)
 			}
-			pd, err := post.Pipeline(spec, cfg)
+			pd, err := post.Pipeline(ctx, spec, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -106,11 +114,11 @@ func TestBackendsMatchDirectCalls(t *testing.T) {
 			}
 		}
 
-		mo, err := sched.Schedule("modulo", spec, m)
+		mo, err := sched.Schedule(ctx, "modulo", req(spec, m))
 		if err != nil {
 			t.Fatal(err)
 		}
-		md, err := modulo.Schedule(spec, m)
+		md, err := modulo.Schedule(ctx, spec, m)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +126,7 @@ func TestBackendsMatchDirectCalls(t *testing.T) {
 			t.Errorf("modulo @%dFU: %+v != II=%d speedup=%v", fus, mo, md.II, md.Speedup)
 		}
 
-		ls, err := sched.Schedule("list", spec, m)
+		ls, err := sched.Schedule(ctx, "list", req(spec, m))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -139,12 +147,97 @@ func TestResultRawTypes(t *testing.T) {
 		"modulo": func(r any) bool { _, ok := r.(*modulo.Result); return ok },
 		"list":   func(r any) bool { _, ok := r.(*listsched.Result); return ok },
 	} {
-		res, err := sched.Schedule(name, spec, m)
+		res, err := sched.Schedule(context.Background(), name, req(spec, m))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !want(res.Raw) {
 			t.Errorf("%s: Raw has unexpected type %T", name, res.Raw)
+		}
+	}
+}
+
+// TestConfigRespected proves a per-request Config reaches the pipeline:
+// a fixed unwind factor must reproduce the direct call with the same
+// factor and differ from the automatic ladder when the factors differ.
+func TestConfigRespected(t *testing.T) {
+	ctx := context.Background()
+	spec := dotLoop()
+	m := machine.New(2)
+	r := req(spec, m)
+	r.Config = sched.Config{Unwind: 8}
+	got, err := sched.Schedule(ctx, "grip", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := pipeline.DefaultConfig(m)
+	cfg.Unwind = 8
+	want, err := pipeline.PerfectPipeline(ctx, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows != want.Rows || got.Speedup != want.Speedup || got.Converged != want.Converged {
+		t.Errorf("configured adapter rows=%d speedup=%v != direct rows=%d speedup=%v",
+			got.Rows, got.Speedup, want.Rows, want.Speedup)
+	}
+	if got.Raw.(*pipeline.Result).U != 8 {
+		t.Errorf("unwind override ignored: U = %d, want 8", got.Raw.(*pipeline.Result).U)
+	}
+}
+
+// TestConfigFingerprint pins the canonical-key properties the cache
+// relies on: zero value == explicit defaults, every knob discriminates,
+// and the request fingerprint composes spec, machine and config.
+func TestConfigFingerprint(t *testing.T) {
+	zero := sched.Config{}
+	explicit := sched.Config{MaxUnwind: pipeline.DefaultMaxUnwind, Periods: pipeline.DefaultPeriods}
+	if zero.Fingerprint() != explicit.Fingerprint() {
+		t.Errorf("zero config %q != explicitly defaulted config %q",
+			zero.Fingerprint(), explicit.Fingerprint())
+	}
+	distinct := []sched.Config{
+		zero,
+		{Unwind: 8},
+		{Unwind: 16},
+		{MaxUnwind: 48},
+		{NoOptimize: true},
+		{NoGapPrevention: true},
+		{EmptyPrelude: 4},
+		{Renaming: true},
+		{Periods: 5},
+	}
+	seen := map[string]sched.Config{}
+	for _, c := range distinct {
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("configs %+v and %+v share fingerprint %q", prev, c, fp)
+		}
+		seen[fp] = c
+	}
+
+	r := sched.Request{Spec: dotLoop(), Machine: machine.New(2)}
+	fp := r.Fingerprint()
+	for _, part := range []string{r.Spec.Fingerprint(), r.Machine.Fingerprint(), r.Config.Fingerprint()} {
+		if !strings.Contains(fp, part) {
+			t.Errorf("request fingerprint %q missing component %q", fp, part)
+		}
+	}
+	r2 := r
+	r2.Config.Unwind = 24
+	if r2.Fingerprint() == fp {
+		t.Error("request fingerprint ignores the config")
+	}
+}
+
+// TestBackendsHonorCancelledContext proves every backend returns its
+// context's error instead of scheduling when cancelled up front.
+func TestBackendsHonorCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"grip", "post", "modulo", "list"} {
+		_, err := sched.Schedule(ctx, name, req(dotLoop(), machine.New(4)))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
 		}
 	}
 }
