@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,6 +39,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so the pprof defers fire on every exit path
+// (os.Exit in main would skip them).
+func run() int {
 	fusFlag := flag.String("fus", "2,4,8", "comma-separated functional unit counts")
 	loopsFlag := flag.String("loops", "", "comma-separated kernel names (default: all)")
 	csv := flag.Bool("csv", false, "emit CSV instead of the paper layout")
@@ -53,12 +60,44 @@ func main() {
 			"per-config cache (0 = the automatic ladder, i.e. the paper default)")
 	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none)")
 	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			f.Close()
+		}()
+	}
 
 	fus, err := machine.ParseFUs(*fusFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	kernels := livermore.All()
@@ -68,7 +107,7 @@ func main() {
 			k := livermore.ByName(strings.TrimSpace(name))
 			if k == nil {
 				fmt.Fprintf(os.Stderr, "unknown kernel %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			kernels = append(kernels, k)
 		}
@@ -80,7 +119,7 @@ func main() {
 		t = strings.TrimSpace(t)
 		if _, ok := sched.Lookup(t); !ok {
 			fmt.Fprintf(os.Stderr, "unknown technique %q (registered: %s)\n", t, strings.Join(sched.Names(), ","))
-			os.Exit(2)
+			return 2
 		}
 		hasGrip = hasGrip || t == "grip"
 		hasPost = hasPost || t == "post"
@@ -88,13 +127,13 @@ func main() {
 	}
 	if *validate && !hasGrip {
 		fmt.Fprintln(os.Stderr, "-validate proves GRiP schedules semantically equivalent; include grip in -technique")
-		os.Exit(2)
+		return 2
 	}
 
 	cfg, err := parseConfig(*configFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	// The run's configurations: the base config alone, or one per sweep
@@ -105,7 +144,7 @@ func main() {
 		factors, err := parseFactors(*sweepFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		runConfigs = nil
 		for _, u := range factors {
@@ -150,13 +189,13 @@ func main() {
 	if *benchOut != "" {
 		if err := writeBench(*benchOut, outcomes, *parallel, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d cells, %.1fs wall)\n", *benchOut, len(outcomes), elapsed.Seconds())
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
-		os.Exit(1)
+		return 1
 	}
 
 	if *validate {
@@ -169,13 +208,14 @@ func main() {
 				for _, f := range fus {
 					if err := harness.ValidateCell(k, f, c); err != nil {
 						fmt.Fprintf(os.Stderr, "VALIDATION FAILED %s @%dFU%s: %v\n", k.Name, f, suffix, err)
-						os.Exit(1)
+						return 1
 					}
 					fmt.Printf("validated %s @%dFU%s: scheduled code ≡ original loop\n", k.Name, f, suffix)
 				}
 			}
 		}
 	}
+	return 0
 }
 
 // parseFactors parses the -sweep-unwind flag's factor list.

@@ -1,0 +1,85 @@
+// Package bitset provides the dense bit-set and bit-matrix primitives
+// the scheduler hot loops are built on: membership sets over the dense
+// operation index space (ir.Op.Index) and precomputed pairwise relations
+// (deps.DDG's Serializes/Blocks matrices). All queries are O(1) loads
+// with no allocation; construction is one slice allocation.
+package bitset
+
+// Set is a fixed-capacity bit set. The zero value is an empty set of
+// capacity zero; use New for a sized one.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set able to hold members 0..n-1.
+func New(n int) Set {
+	if n < 0 {
+		n = 0
+	}
+	return Set{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Has reports whether i is a member. Out-of-range i is never a member.
+func (s Set) Has(i int) bool {
+	if uint(i) >= uint(s.n) {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts i. Out-of-range i panics (callers own the index space).
+func (s Set) Add(i int) {
+	if uint(i) >= uint(s.n) {
+		panic("bitset: Add out of range")
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove deletes i if present.
+func (s Set) Remove(i int) {
+	if uint(i) >= uint(s.n) {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Matrix is a packed n×n boolean relation: O(n²/64) words, one load per
+// query. Rows and columns are dense indices (ir.Op.Index).
+type Matrix struct {
+	words  []uint64
+	stride int // words per row
+	n      int
+}
+
+// NewMatrix returns an all-false n×n relation.
+func NewMatrix(n int) Matrix {
+	if n < 0 {
+		n = 0
+	}
+	stride := (n + 63) / 64
+	return Matrix{words: make([]uint64, n*stride), stride: stride, n: n}
+}
+
+// Has reports whether (i,j) is in the relation. Out-of-range pairs are
+// never in it.
+func (m Matrix) Has(i, j int) bool {
+	if uint(i) >= uint(m.n) || uint(j) >= uint(m.n) {
+		return false
+	}
+	return m.words[i*m.stride+j>>6]&(1<<(uint(j)&63)) != 0
+}
+
+// Set inserts (i,j). Out-of-range pairs panic.
+func (m Matrix) Set(i, j int) {
+	if uint(i) >= uint(m.n) || uint(j) >= uint(m.n) {
+		panic("bitset: Matrix.Set out of range")
+	}
+	m.words[i*m.stride+j>>6] |= 1 << (uint(j) & 63)
+}
+
+// Row returns the packed words of row i, for word-parallel scans over
+// the relation. The slice aliases the matrix.
+func (m Matrix) Row(i int) []uint64 {
+	return m.words[i*m.stride : (i+1)*m.stride]
+}

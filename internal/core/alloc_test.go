@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/deps"
+	"repro/internal/graph"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/ps"
+)
+
+// TestMigrationStepAllocs pins the tentpole guarantee: a steady-state
+// GRiP migration step — choosing the next op against the bitset state
+// and moving it one edge — allocates nothing. The test warms one
+// up-and-back move cycle so vertex op slices reach their steady
+// capacity, then measures.
+func TestMigrationStepAllocs(t *testing.T) {
+	al := ir.NewAlloc()
+	g := graph.New(al)
+	// Target node holds a resident op (so it never empties), source node
+	// holds the migrating op plus a resident (so it is never spliced).
+	resident1 := &ir.Op{ID: al.OpID(), Origin: 0, Iter: 0, Kind: ir.Const, Dst: al.Reg("a"), Imm: 1}
+	mover := &ir.Op{ID: al.OpID(), Origin: 1, Iter: 0, Kind: ir.Const, Dst: al.Reg("b"), Imm: 2}
+	resident2 := &ir.Op{ID: al.OpID(), Origin: 2, Iter: 0, Kind: ir.Const, Dst: al.Reg("c"), Imm: 3}
+	n1 := graph.AppendOp(g, nil, resident1)
+	n2 := graph.AppendOp(g, n1, mover)
+	g.AddOp(resident2, n2.Root)
+
+	ops := []*ir.Op{resident1, mover, resident2}
+	ddg := deps.Build(ops)
+	pctx := ps.NewCtx(g, machine.New(4), nil)
+	pctx.D = ddg
+	s := newScheduler(context.Background(), pctx, ops, deps.NewPriority(ddg), Options{MaxSteps: DefaultMaxSteps})
+
+	home := n2.Root
+	step := func() {
+		s.gen++
+		op := s.chooseOp(n1, true, true)
+		if op != mover {
+			t.Fatalf("chooseOp picked %v, want the mover", op)
+		}
+		s.tried[op.Index] = s.gen
+		s.migrate(n1, op)
+		if g.NodeOf(mover) != n1 {
+			t.Fatal("mover did not arrive")
+		}
+		g.MoveOp(mover, home) // reset for the next round
+	}
+	for i := 0; i < 16; i++ {
+		step() // warm slice capacities
+	}
+	if allocs := testing.AllocsPerRun(200, step); allocs != 0 {
+		t.Fatalf("migration step allocates %v bytes/run, want 0", allocs)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChooseOpScanAllocs: the full Moveable-ops scan over a ranked list
+// with suspension and tried state in play is allocation-free.
+func TestChooseOpScanAllocs(t *testing.T) {
+	pctx, ops, pri := buildStraightLine(64, 2)
+	s := newScheduler(context.Background(), pctx, ops, pri, Options{MaxSteps: DefaultMaxSteps})
+	entry := pctx.G.Entry
+	s.gen++
+	s.suspended.Add(ops[40].Index)
+	s.suspList = append(s.suspList, ops[40])
+	s.unmoveable.Add(ops[50].Index)
+	var sink *ir.Op
+	allocs := testing.AllocsPerRun(500, func() {
+		sink = s.chooseOp(entry, true, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("chooseOp allocates %v bytes/run, want 0", allocs)
+	}
+	if sink == nil {
+		t.Fatal("chooseOp found nothing")
+	}
+}

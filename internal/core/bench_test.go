@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/livermore"
+	"repro/internal/machine"
+	"repro/internal/pipeline"
+	"repro/internal/ps"
+)
+
+// BenchmarkMigrationStep measures GRiP scheduling of a real unwound
+// kernel — the Figure 10 loop's end-to-end cost including the
+// Moveable-ops scans, gapless tests, and ps moves. The per-run graph
+// clone is excluded from the timer, so ns/op is pure scheduling.
+func BenchmarkMigrationStep(b *testing.B) {
+	spec := livermore.ByName("LL1").Spec
+	const unwind = 48
+	base, err := pipeline.Unwind(spec, unwind)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base.BuildGraph()
+	deps.Build(base.Ops)
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var moves int
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		uw := base.Clone() // fresh graph per run, off-timer
+		ddg := deps.Build(uw.Ops)
+		pctx := ps.NewCtx(uw.G, machine.New(4), uw.ExitLive)
+		pctx.D = ddg
+		b.StartTimer()
+		stats, err := core.Schedule(context.Background(), pctx, uw.Ops, deps.NewPriority(ddg), core.Options{GapPrevention: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		moves = stats.Moves
+	}
+	b.ReportMetric(float64(moves), "moves/schedule")
+}

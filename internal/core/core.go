@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/bitset"
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -69,19 +70,30 @@ type Stats struct {
 	Renames          int
 }
 
+// The scheduler's per-op state lives in bitsets and slices addressed by
+// the dense op index (ir.Op.Index, assigned by deps.Build), so the
+// Figure 10 while-loop's per-candidate checks are O(1) loads with zero
+// steady-state allocation — the paper's efficiency claim depends on the
+// Moveable-ops bookkeeping being trivially cheap.
 type scheduler struct {
 	goctx context.Context // cancellation/deadline signal; checked at checkpoints
 	ctx   *ps.Ctx
 	pri   *deps.Priority
 	opts  Options
 
-	ranked     []*ir.Op // all schedulable ops, highest priority first
-	byIter     map[int][]*ir.Op
-	unmoveable map[*ir.Op]bool
-	suspended  map[*ir.Op]bool
+	ranked     []*ir.Op   // all schedulable ops, highest priority first
+	byIter     [][]*ir.Op // ops per iteration, at index op.Iter+1 (NoIter first)
+	unmoveable bitset.Set
+	suspended  bitset.Set
+	suspList   []*ir.Op // the suspended ops, in suspension order
 	stats      Stats
 	steps      int
-	barrierSet map[*ir.Op]bool
+	barrierSet bitset.Set
+	barrierOps int
+
+	// tried[i] holds the generation op i was last tried in; a fresh
+	// generation invalidates every mark at once (no per-node map).
+	tried []int
 
 	// gen is the retry generation: it advances on events that can
 	// unblock previously tried operations (an arrival at the scheduled
@@ -105,24 +117,7 @@ func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priorit
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultMaxSteps
 	}
-	s := &scheduler{
-		goctx:      ctx,
-		ctx:        pctx,
-		pri:        pri,
-		opts:       opts,
-		unmoveable: make(map[*ir.Op]bool),
-		suspended:  make(map[*ir.Op]bool),
-		barrierSet: make(map[*ir.Op]bool),
-	}
-	s.ranked = make([]*ir.Op, 0, len(ops))
-	s.byIter = make(map[int][]*ir.Op)
-	for _, op := range ops {
-		if !op.Frozen {
-			s.ranked = append(s.ranked, op)
-			s.byIter[op.Iter] = append(s.byIter[op.Iter], op)
-		}
-	}
-	pri.Rank(s.ranked)
+	s := newScheduler(ctx, pctx, ops, pri, opts)
 
 	for i := 0; i < opts.EmptyPrelude; i++ {
 		pctx.G.InsertBefore(pctx.G.Entry)
@@ -155,8 +150,76 @@ func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priorit
 
 	s.stats.Moves = pctx.Moves + pctx.Hoists + pctx.CJMoves
 	s.stats.Renames = pctx.Renames
-	s.stats.BarrierOps = len(s.barrierSet)
+	s.stats.BarrierOps = s.barrierOps
 	return s.stats, nil
+}
+
+// newScheduler sizes every index-addressed structure and ranks the
+// schedulable operations.
+func newScheduler(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) *scheduler {
+	n := ensureIndices(ops)
+	s := &scheduler{
+		goctx:      ctx,
+		ctx:        pctx,
+		pri:        pri,
+		opts:       opts,
+		unmoveable: bitset.New(n),
+		suspended:  bitset.New(n),
+		barrierSet: bitset.New(n),
+		tried:      make([]int, n),
+		suspList:   make([]*ir.Op, 0, n),
+	}
+	s.ranked = make([]*ir.Op, 0, len(ops))
+	maxIter := ir.NoIter
+	for _, op := range ops {
+		if !op.Frozen {
+			s.ranked = append(s.ranked, op)
+			if op.Iter > maxIter {
+				maxIter = op.Iter
+			}
+		}
+	}
+	s.byIter = make([][]*ir.Op, maxIter+2)
+	for _, op := range s.ranked {
+		s.byIter[op.Iter+1] = append(s.byIter[op.Iter+1], op)
+	}
+	pri.Rank(s.ranked)
+	return s
+}
+
+// ensureIndices returns the size of the dense index space the ops live
+// in. The normal path is a no-op scan: deps.Build already assigned
+// every op a distinct index. Callers that hand-build op lists without a
+// DDG get positional indices assigned here so the bitsets stay sound.
+func ensureIndices(ops []*ir.Op) int {
+	max := -1
+	valid := true
+	for _, op := range ops {
+		if op.Index < 0 {
+			valid = false
+			break
+		}
+		if op.Index > max {
+			max = op.Index
+		}
+	}
+	if valid && max >= 0 {
+		seen := bitset.New(max + 1)
+		for _, op := range ops {
+			if seen.Has(op.Index) {
+				valid = false
+				break
+			}
+			seen.Add(op.Index)
+		}
+	}
+	if valid {
+		return max + 1
+	}
+	for i, op := range ops {
+		op.Index = i
+	}
+	return len(ops)
 }
 
 func nextMain(n *graph.Node) *graph.Node {
@@ -177,7 +240,9 @@ func nextMain(n *graph.Node) *graph.Node {
 // prevention is on): repeatedly choose the best moveable op and migrate
 // it toward n until resources run out or nothing can move.
 func (s *scheduler) scheduleNode(n *graph.Node) error {
-	tried := map[*ir.Op]int{}
+	// A fresh generation invalidates every tried mark from the previous
+	// node at once (the map-based version allocated a new map here).
+	s.gen++
 	if s.opts.TraceNode != nil {
 		s.opts.TraceNode(n, s.MoveableSet(n))
 	}
@@ -197,63 +262,82 @@ func (s *scheduler) scheduleNode(n *graph.Node) error {
 		if !opRoom && !brRoom {
 			return nil
 		}
-		op := s.chooseOp(n, tried, opRoom, brRoom)
+		op := s.chooseOp(n, opRoom, brRoom)
 		if op == nil {
 			return nil
 		}
-		tried[op] = s.gen
+		s.tried[op.Index] = s.gen
 		s.migrate(n, op)
 	}
 }
 
 // chooseOp returns the highest-priority op still eligible to move toward
-// n: below n, not frozen, not unmoveable, not suspended, below the
-// lowest suspended op (rule 3), and not already tried since the graph
-// last changed.
-func (s *scheduler) chooseOp(n *graph.Node, tried map[*ir.Op]int, opRoom, brRoom bool) *ir.Op {
+// n: below n, not unmoveable, not suspended, below the lowest suspended
+// op (rule 3), and not already tried since the graph last changed
+// (ranked holds no frozen ops). Every per-candidate check is an O(1)
+// load and the scan allocates nothing.
+//
+// The scan also compacts ranked in place: unmoveable marks are monotone
+// and operations only ever move up while the scheduling frontier only
+// moves down, so an op that is unmoveable or at/above the frontier can
+// never become eligible again and is dropped. Which op is returned is
+// unaffected — only permanently-dead entries leave the list — but later
+// scans stop paying for the already-scheduled region.
+func (s *scheduler) chooseOp(n *graph.Node, opRoom, brRoom bool) *ir.Op {
 	g := s.ctx.G
 	limit := n.Pos()
 	lowestSusp, haveSusp := s.lowestSuspendedPos()
-	for _, op := range s.ranked {
-		if op.Frozen || s.unmoveable[op] {
-			continue
-		}
-		if op.IsBranch() && !brRoom {
-			continue
-		}
-		if !op.IsBranch() && !opRoom {
-			continue
-		}
-		if v, ok := tried[op]; ok && v == s.gen {
-			continue
+	ranked := s.ranked
+	w := 0
+	for r := 0; r < len(ranked); r++ {
+		op := ranked[r]
+		if s.unmoveable.Has(op.Index) {
+			continue // prune: unmoveable is never cleared
 		}
 		home := g.NodeOf(op)
 		if home == nil || home.Drain {
+			ranked[w] = op
+			w++
 			continue
 		}
 		pos := home.Pos()
 		if pos <= limit {
-			continue // already at or above the node being scheduled
+			continue // prune: at or above the scheduling frontier
 		}
-		if s.suspended[op] {
+		ranked[w] = op
+		w++
+		if op.IsBranch() {
+			if !brRoom {
+				continue
+			}
+		} else if !opRoom {
+			continue
+		}
+		if s.tried[op.Index] == s.gen {
+			continue
+		}
+		if s.suspended.Has(op.Index) {
 			continue
 		}
 		if haveSusp && pos <= lowestSusp {
 			continue // rule 3: only ops below the lowest suspended op move
 		}
+		w += copy(ranked[w:], ranked[r+1:])
+		s.ranked = ranked[:w]
 		return op
 	}
+	s.ranked = ranked[:w]
 	return nil
 }
 
 func (s *scheduler) lowestSuspendedPos() (float64, bool) {
-	if len(s.suspended) == 0 {
+	if len(s.suspList) == 0 {
 		return 0, false
 	}
 	g := s.ctx.G
 	low := 0.0
 	have := false
-	for op := range s.suspended {
+	for _, op := range s.suspList {
 		if home := g.NodeOf(op); home != nil {
 			if p := home.Pos(); !have || p > low {
 				low = p
@@ -265,9 +349,10 @@ func (s *scheduler) lowestSuspendedPos() (float64, bool) {
 }
 
 func (s *scheduler) clearSuspensions() {
-	for op := range s.suspended {
-		delete(s.suspended, op)
+	for _, op := range s.suspList {
+		s.suspended.Remove(op.Index)
 	}
+	s.suspList = s.suspList[:0]
 	s.gen++
 }
 
@@ -295,7 +380,8 @@ func (s *scheduler) migrate(n *graph.Node, op *ir.Op) {
 		if !hoisting && s.opts.GapPrevention && op.Iter != ir.NoIter {
 			if !s.gaplessMove(cur, op) {
 				s.stats.GaplessRejects++
-				s.suspended[op] = true
+				s.suspended.Add(op.Index)
+				s.suspList = append(s.suspList, op)
 				s.stats.Suspensions++
 				return
 			}
@@ -326,10 +412,10 @@ func (s *scheduler) migrate(n *graph.Node, op *ir.Op) {
 			// branch moves restructure the chain. Either way, retry.
 			s.gen++
 		}
-		if len(s.suspended) > 0 {
+		if len(s.suspList) > 0 {
 			// Rule 2: a successful move may have made a suspended op's
 			// gapless test satisfiable; wake them and re-rank.
-			s.stats.Unsuspensions += len(s.suspended)
+			s.stats.Unsuspensions += len(s.suspList)
 			s.clearSuspensions()
 			s.gen++
 			s.stats.PartialMoves++
@@ -348,24 +434,29 @@ func (s *scheduler) recordBlock(target, cur *graph.Node, op *ir.Op, blk ps.Block
 		pred := s.ctx.G.SinglePred(cur)
 		if pred != nil && pred != target {
 			s.stats.ResourceBarriers++
-			s.barrierSet[op] = true
+			if !s.barrierSet.Has(op.Index) {
+				s.barrierSet.Add(op.Index)
+				s.barrierOps++
+			}
 		}
 	case ps.BlockDep:
 		// The op is unmoveable if it is pinned by something that will
 		// never move again: a frozen clone, an op already marked
 		// unmoveable, or an op resting in the scheduled region.
+		// (bitset.Has is false for ops outside the index space, exactly
+		// as the old pointer-keyed map was for ops never inserted.)
 		by := blk.By
 		if by == nil {
-			s.unmoveable[op] = true
+			s.unmoveable.Add(op.Index)
 			return
 		}
-		if by.Frozen || s.unmoveable[by] {
-			s.unmoveable[op] = true
+		if by.Frozen || s.unmoveable.Has(by.Index) {
+			s.unmoveable.Add(op.Index)
 			return
 		}
 		if home := s.ctx.G.NodeOf(by); home != nil {
 			if home.Pos() <= target.Pos() {
-				s.unmoveable[op] = true
+				s.unmoveable.Add(op.Index)
 			}
 		}
 	case ps.BlockStructure:
@@ -381,7 +472,7 @@ func (s *scheduler) MoveableSet(n *graph.Node) []*ir.Op {
 	limit := n.Pos()
 	var out []*ir.Op
 	for _, op := range s.ranked {
-		if op.Frozen || s.unmoveable[op] {
+		if op.Frozen || s.unmoveable.Has(op.Index) {
 			continue
 		}
 		home := g.NodeOf(op)

@@ -106,7 +106,7 @@ func (s *scheduler) canFill(x, leaving *ir.Op) bool {
 // this an O(body) check instead of a graph scan.
 func (s *scheduler) isLastOfIter(from *graph.Node, op *ir.Op) bool {
 	limit := from.Pos()
-	for _, op2 := range s.byIter[op.Iter] {
+	for _, op2 := range s.byIter[op.Iter+1] {
 		if op2 == op || op2.Frozen {
 			continue
 		}

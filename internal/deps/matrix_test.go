@@ -1,0 +1,199 @@
+package deps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// randomProgram generates n ops spanning every dependence-relevant
+// shape: defs and uses over a small register pool (forcing true, anti,
+// and output overlaps), direct and indirect loads/stores over a couple
+// of arrays, and immediate-operand variants.
+func randomProgram(rng *rand.Rand, n int) []*ir.Op {
+	reg := func() ir.Reg { return ir.Reg(1 + rng.Intn(8)) }
+	mem := func() ir.MemRef {
+		m := ir.MemRef{Array: ir.Array(1 + rng.Intn(2)), Index: int64(rng.Intn(4))}
+		if rng.Intn(4) == 0 {
+			m.IndexReg = reg()
+		}
+		return m
+	}
+	ops := make([]*ir.Op, n)
+	for i := range ops {
+		op := &ir.Op{ID: i + 1, Origin: i, Iter: 0}
+		switch rng.Intn(6) {
+		case 0:
+			op.Kind = ir.Const
+			op.Dst = reg()
+			op.Imm = int64(rng.Intn(100))
+		case 1:
+			op.Kind = ir.Copy
+			op.Dst, op.Src[0] = reg(), reg()
+		case 2:
+			op.Kind = ir.Add
+			op.Dst, op.Src[0] = reg(), reg()
+			if rng.Intn(2) == 0 {
+				op.BImm, op.Imm = true, 7
+			} else {
+				op.Src[1] = reg()
+			}
+		case 3:
+			op.Kind = ir.Load
+			op.Dst, op.Mem = reg(), mem()
+		case 4:
+			op.Kind = ir.Store
+			op.Src[0], op.Mem = reg(), mem()
+		case 5:
+			op.Kind = ir.CJ
+			op.Src[0] = reg()
+			if rng.Intn(2) == 0 {
+				op.BImm, op.Imm = true, 3
+			} else {
+				op.Src[1] = reg()
+			}
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// TestMatrixMatchesPairwise is the bit-matrix/naive-pairwise
+// equivalence property: for every ordered pair of a random program
+// (both directions, diagonal included), the DDG's matrix answer must
+// equal the live pairwise test.
+func TestMatrixMatchesPairwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		ops := randomProgram(rng, 3+rng.Intn(60))
+		d := Build(ops)
+		for _, a := range ops {
+			for _, b := range ops {
+				if got, want := d.Serializes(a, b), Serializes(a, b); got != want {
+					t.Fatalf("trial %d: Serializes(%v, %v) matrix=%v pairwise=%v", trial, a, b, got, want)
+				}
+				if got, want := d.Blocks(a, b), Blocks(a, b); got != want {
+					t.Fatalf("trial %d: Blocks(%v, %v) matrix=%v pairwise=%v", trial, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCSRMatchesNaiveEdges cross-checks the CSR adjacency against the
+// O(n²) double loop the build replaced.
+func TestCSRMatchesNaiveEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		ops := randomProgram(rng, 3+rng.Intn(40))
+		d := Build(ops)
+		for i, a := range ops {
+			var wantSucc []*ir.Op
+			for _, b := range ops[i+1:] {
+				if Serializes(a, b) {
+					wantSucc = append(wantSucc, b)
+				}
+			}
+			gotSucc := d.Succs(a)
+			if len(gotSucc) != len(wantSucc) {
+				t.Fatalf("trial %d op %d: %d succs, want %d", trial, i, len(gotSucc), len(wantSucc))
+			}
+			for k := range wantSucc {
+				if gotSucc[k] != wantSucc[k] {
+					t.Fatalf("trial %d op %d: succ %d differs", trial, i, k)
+				}
+			}
+			if d.Dependents(a) != len(wantSucc) {
+				t.Fatalf("trial %d op %d: dependents %d, want %d", trial, i, d.Dependents(a), len(wantSucc))
+			}
+		}
+		// Chain lengths against a direct backward recomputation.
+		want := make([]int, len(ops))
+		for i := len(ops) - 1; i >= 0; i-- {
+			best := 0
+			for _, s := range d.Succs(ops[i]) {
+				if c := want[s.Index]; c > best {
+					best = c
+				}
+			}
+			want[i] = best + 1
+			if d.ChainLen(ops[i]) != want[i] {
+				t.Fatalf("trial %d op %d: chain %d, want %d", trial, i, d.ChainLen(ops[i]), want[i])
+			}
+		}
+	}
+}
+
+// TestMatrixFallbackAfterRewrite: once an op's operands are rewritten
+// and reported, queries involving it must track the live registers, not
+// the build-time snapshot.
+func TestMatrixFallbackAfterRewrite(t *testing.T) {
+	// a defines r1; b reads r1 (true dep). Rewriting b to read r2
+	// dissolves the dependence.
+	a := &ir.Op{ID: 1, Origin: 0, Kind: ir.Const, Dst: 1, Imm: 5}
+	b := &ir.Op{ID: 2, Origin: 1, Kind: ir.Add, Dst: 3, Src: [2]ir.Reg{1}, Imm: 1, BImm: true}
+	d := Build([]*ir.Op{a, b})
+	if !d.Serializes(a, b) {
+		t.Fatal("build-time dependence missing")
+	}
+	b.ReplaceUse(1, 2)
+	if !d.Serializes(a, b) {
+		t.Fatal("unreported rewrite must not change matrix answers")
+	}
+	d.MarkRewritten(b)
+	if d.Serializes(a, b) {
+		t.Fatal("dirty op must fall back to the live pairwise test")
+	}
+	if d.Serializes(a, b) != Serializes(a, b) || d.Blocks(a, b) != Blocks(a, b) {
+		t.Fatal("fallback disagrees with pairwise")
+	}
+}
+
+// TestMatrixIgnoresForeignOps: ops outside the analyzed program (frozen
+// clones, another program's ops reusing the same index range) must
+// resolve through the pairwise fallback, never through the matrix.
+func TestMatrixIgnoresForeignOps(t *testing.T) {
+	a := &ir.Op{ID: 1, Origin: 0, Kind: ir.Const, Dst: 1, Imm: 5}
+	b := &ir.Op{ID: 2, Origin: 1, Kind: ir.Add, Dst: 2, Src: [2]ir.Reg{1}, Imm: 1, BImm: true}
+	d := Build([]*ir.Op{a, b})
+
+	clone := a.Clone(99, true)
+	if clone.Index != ir.NoIndex {
+		t.Fatalf("frozen clone Index = %d, want NoIndex", clone.Index)
+	}
+	if d.Serializes(clone, b) != Serializes(clone, b) {
+		t.Fatal("clone query disagrees with pairwise")
+	}
+
+	// An op from a different program whose Index collides with a's.
+	foreign := &ir.Op{ID: 7, Index: 0, Kind: ir.Const, Dst: 9, Imm: 1}
+	if d.Serializes(foreign, b) != Serializes(foreign, b) {
+		t.Fatal("foreign op must not alias the matrix row of a")
+	}
+	if d.ChainLen(foreign) != 0 || d.Dependents(foreign) != 0 || d.Succs(foreign) != nil {
+		t.Fatal("foreign op leaked into priority data")
+	}
+}
+
+// TestMatrixQueryAllocs pins the hot-path guarantee: matrix queries and
+// priority lookups allocate nothing, on both the matrix and the
+// fallback path.
+func TestMatrixQueryAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := randomProgram(rng, 64)
+	d := Build(ops)
+	d.MarkRewritten(ops[5])
+	var sink bool
+	allocs := testing.AllocsPerRun(1000, func() {
+		sink = d.Serializes(ops[1], ops[2]) || sink
+		sink = d.Blocks(ops[2], ops[3]) || sink
+		sink = d.Serializes(ops[5], ops[6]) || sink // dirty: pairwise fallback
+		sink = d.ChainLen(ops[4]) > 0 || sink
+		sink = len(d.Succs(ops[7])) > 0 || sink
+	})
+	if allocs != 0 {
+		t.Fatalf("dependence queries allocate %v bytes/run, want 0", allocs)
+	}
+	_ = sink
+}

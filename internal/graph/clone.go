@@ -5,19 +5,24 @@ import (
 )
 
 // Clone deep-copies the graph: every node, vertex, and operation is
-// duplicated (operations keep their IDs, origins, and iteration tags;
-// nodes keep their IDs and order-maintenance keys), and the clone's
-// bookkeeping (predecessor sets, op locations, ID counters) is rebuilt
-// to match. The clone uses alloc for future allocations; pass an
-// independent allocator (ir.Alloc.Clone) so transformations on the
+// duplicated (operations keep their IDs, origins, iteration tags, and
+// dense indices; nodes keep their IDs and order-maintenance keys), and
+// the clone's bookkeeping (predecessor sets, op locations, ID counters)
+// is rebuilt to match. The clone uses alloc for future allocations; pass
+// an independent allocator (ir.Alloc.Clone) so transformations on the
 // clone allocate exactly the IDs the same transformations on the
 // original would — schedulers mutating a clone behave bit-identically
 // to schedulers mutating the original.
 //
-// The returned op map relates original operations to their clones, so
-// callers holding external op lists (e.g. pipeline.Unwound.Ops) can
-// re-point them at the copies.
-func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, map[*ir.Op]*ir.Op) {
+// Nodes, vertices, and operations are carved out of three single arena
+// slices — one allocation per kind for the whole graph instead of one
+// per object — which is what keeps POST's per-target phase-1 memo
+// copies cheap.
+//
+// The returned slice maps original op IDs to their clones (nil for IDs
+// not placed in this graph), so callers holding external op lists
+// (e.g. pipeline.Unwound.Ops) can re-point them at the copies.
+func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	if alloc == nil {
 		alloc = g.Alloc
 	}
@@ -25,28 +30,44 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, map[*ir.Op]*ir.Op) {
 		Alloc:      alloc,
 		nodes:      make(map[*Node]bool, len(g.nodes)),
 		preds:      make(map[*Node]map[*Node]int, len(g.preds)),
-		locs:       make(map[*ir.Op]*Vertex, len(g.locs)),
+		locs:       make([]opLoc, len(g.locs)),
 		version:    g.version,
 		nextNodeID: g.nextNodeID,
 		maxPos:     g.maxPos,
 	}
 
-	opMap := make(map[*ir.Op]*ir.Op, len(g.locs))
+	// Count vertices so every arena is sized exactly: growing an arena
+	// mid-build would move objects already pointed at.
+	nVertices := 0
+	for n := range g.nodes {
+		n.Walk(func(*Vertex) { nVertices++ })
+	}
+	opArena := make([]ir.Op, 0, g.numPlaced)
+	vertexArena := make([]Vertex, 0, nVertices)
+	nodeArena := make([]Node, 0, len(g.nodes))
+	opPtrArena := make([]*ir.Op, 0, g.numPlaced)
+
+	byID := make([]*ir.Op, len(g.locs))
 	cloneOp := func(op *ir.Op) *ir.Op {
 		if op == nil {
 			return nil
 		}
-		if c, ok := opMap[op]; ok {
+		if c := byID[op.ID]; c != nil {
 			return c
 		}
-		c := *op
-		opMap[op] = &c
-		return &c
+		opArena = append(opArena, *op)
+		c := &opArena[len(opArena)-1]
+		byID[op.ID] = c
+		return c
 	}
 
 	nodeMap := make(map[*Node]*Node, len(g.nodes))
 	for n := range g.nodes {
-		nodeMap[n] = &Node{ID: n.ID, Drain: n.Drain, pos: n.pos}
+		nodeArena = append(nodeArena, Node{
+			ID: n.ID, Drain: n.Drain, pos: n.pos,
+			opCount: n.opCount, branchCount: n.branchCount,
+		})
+		nodeMap[n] = &nodeArena[len(nodeArena)-1]
 		ng.nodes[nodeMap[n]] = true
 	}
 
@@ -54,15 +75,23 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, map[*ir.Op]*ir.Op) {
 	// nodeMap and predecessor counts rebuilt as edges are recreated.
 	var cloneVertex func(v *Vertex, n *Node, parent *Vertex) *Vertex
 	cloneVertex = func(v *Vertex, n *Node, parent *Vertex) *Vertex {
-		nv := &Vertex{node: n, parent: parent}
-		for _, op := range v.Ops {
-			c := cloneOp(op)
-			nv.Ops = append(nv.Ops, c)
-			ng.locs[c] = nv
+		vertexArena = append(vertexArena, Vertex{node: n, parent: parent})
+		nv := &vertexArena[len(vertexArena)-1]
+		if len(v.Ops) > 0 {
+			// Each vertex's op-pointer list is a capped sub-slice of one
+			// shared arena; a later append on the vertex re-allocates
+			// rather than clobbering its neighbour.
+			start := len(opPtrArena)
+			for _, op := range v.Ops {
+				c := cloneOp(op)
+				opPtrArena = append(opPtrArena, c)
+				ng.setLoc(c, nv)
+			}
+			nv.Ops = opPtrArena[start:len(opPtrArena):len(opPtrArena)]
 		}
 		if v.CJ != nil {
 			nv.CJ = cloneOp(v.CJ)
-			ng.locs[nv.CJ] = nv
+			ng.setLoc(nv.CJ, nv)
 			nv.True = cloneVertex(v.True, n, nv)
 			nv.False = cloneVertex(v.False, n, nv)
 			return nv
@@ -77,5 +106,5 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, map[*ir.Op]*ir.Op) {
 		nodeMap[n].Root = cloneVertex(n.Root, nodeMap[n], nil)
 	}
 	ng.Entry = nodeMap[g.Entry]
-	return ng, opMap
+	return ng, byID
 }

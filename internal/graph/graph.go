@@ -6,17 +6,31 @@ import (
 	"repro/internal/ir"
 )
 
+// opLoc is one entry of the dense op-location table: the vertex holding
+// the op, plus the op pointer itself so lookups can verify identity (op
+// IDs are only unique within one allocator; an op from a cloned program
+// must not resolve against this graph's table).
+type opLoc struct {
+	op *ir.Op
+	v  *Vertex
+}
+
 // Graph is a VLIW program graph. All structural mutation must go through
-// Graph methods so that predecessor sets, operation locations, and the
-// cached traversal order stay consistent; Validate cross-checks every
-// invariant and is run liberally in tests.
+// Graph methods so that predecessor sets, operation locations, cached
+// node op counts, and the cached traversal order stay consistent;
+// Validate cross-checks every invariant and is run liberally in tests.
 type Graph struct {
 	Entry *Node
 	Alloc *ir.Alloc
 
 	nodes map[*Node]bool
 	preds map[*Node]map[*Node]int // successor -> predecessor -> edge count
-	locs  map[*ir.Op]*Vertex
+
+	// locs maps op.ID -> location. Op IDs are dense (ir.Alloc hands
+	// them out sequentially), so this is a slice lookup on the
+	// scheduler's hottest query (Where/NodeOf), not a pointer-keyed map.
+	locs      []opLoc
+	numPlaced int
 
 	version    uint64
 	orderVer   uint64
@@ -35,7 +49,45 @@ func New(alloc *ir.Alloc) *Graph {
 		Alloc: alloc,
 		nodes: make(map[*Node]bool),
 		preds: make(map[*Node]map[*Node]int),
-		locs:  make(map[*ir.Op]*Vertex),
+		locs:  make([]opLoc, alloc.NumOps()+1),
+	}
+}
+
+// loc returns op's registered location, or nil.
+func (g *Graph) loc(op *ir.Op) *Vertex {
+	id := op.ID
+	if uint(id) < uint(len(g.locs)) && g.locs[id].op == op {
+		return g.locs[id].v
+	}
+	return nil
+}
+
+// setLoc registers op at v, growing the table for ops allocated after
+// the graph was created (frozen drain clones).
+func (g *Graph) setLoc(op *ir.Op, v *Vertex) {
+	id := op.ID
+	if id < 0 {
+		panic("graph: op with negative ID")
+	}
+	if id >= len(g.locs) {
+		need := id + 1
+		if n := 2 * len(g.locs); n > need {
+			need = n
+		}
+		grown := make([]opLoc, need)
+		copy(grown, g.locs)
+		g.locs = grown
+	}
+	g.locs[id] = opLoc{op: op, v: v}
+	g.numPlaced++
+}
+
+// clearLoc unregisters op.
+func (g *Graph) clearLoc(op *ir.Op) {
+	id := op.ID
+	if uint(id) < uint(len(g.locs)) && g.locs[id].op == op {
+		g.locs[id] = opLoc{}
+		g.numPlaced--
 	}
 }
 
@@ -89,11 +141,11 @@ func (g *Graph) Has(n *Node) bool { return g.nodes[n] }
 
 // Where returns the vertex currently holding op (branches included), or
 // nil if the op is not placed.
-func (g *Graph) Where(op *ir.Op) *Vertex { return g.locs[op] }
+func (g *Graph) Where(op *ir.Op) *Vertex { return g.loc(op) }
 
 // NodeOf returns the node currently holding op, or nil.
 func (g *Graph) NodeOf(op *ir.Op) *Node {
-	if v := g.locs[op]; v != nil {
+	if v := g.loc(op); v != nil {
 		return v.node
 	}
 	return nil
@@ -186,17 +238,20 @@ func (g *Graph) AddOp(op *ir.Op, v *Vertex) {
 	if op.IsBranch() {
 		panic("graph: AddOp with branch op")
 	}
-	if g.locs[op] != nil {
+	if g.loc(op) != nil {
 		panic("graph: op already placed")
 	}
 	v.Ops = append(v.Ops, op)
-	g.locs[op] = v
+	g.setLoc(op, v)
+	if v.node != nil {
+		v.node.opCount++
+	}
 	g.bump()
 }
 
 // RemoveOp detaches op from its vertex.
 func (g *Graph) RemoveOp(op *ir.Op) {
-	v := g.locs[op]
+	v := g.loc(op)
 	if v == nil {
 		panic("graph: RemoveOp of unplaced op")
 	}
@@ -206,7 +261,10 @@ func (g *Graph) RemoveOp(op *ir.Op) {
 	if !v.removeOp(op) {
 		panic("graph: op location out of sync")
 	}
-	delete(g.locs, op)
+	g.clearLoc(op)
+	if v.node != nil {
+		v.node.opCount--
+	}
 	g.bump()
 }
 
@@ -229,7 +287,7 @@ func (g *Graph) InsertBranchAtLeaf(leaf *Vertex, cj *ir.Op, tSucc, fSucc *Node) 
 	if !cj.IsBranch() {
 		panic("graph: InsertBranchAtLeaf with non-branch op")
 	}
-	if g.locs[cj] != nil {
+	if g.loc(cj) != nil {
 		panic("graph: branch already placed")
 	}
 	g.unlinkIfSet(leaf)
@@ -242,7 +300,10 @@ func (g *Graph) InsertBranchAtLeaf(leaf *Vertex, cj *ir.Op, tSucc, fSucc *Node) 
 	leaf.CJ = cj
 	leaf.True = t
 	leaf.False = f
-	g.locs[cj] = leaf
+	g.setLoc(cj, leaf)
+	if leaf.node != nil {
+		leaf.node.branchCount++
+	}
 	g.bump()
 	return t, f
 }
@@ -258,10 +319,10 @@ func (g *Graph) DetachBranchRoot(n *Node) (cj *ir.Op, rootOps []*ir.Op, trueSub,
 		panic("graph: DetachBranchRoot on leaf root")
 	}
 	cj = r.CJ
-	delete(g.locs, cj)
+	g.clearLoc(cj)
 	rootOps = append(rootOps, r.Ops...)
 	for _, op := range rootOps {
-		delete(g.locs, op)
+		g.clearLoc(op)
 	}
 	trueSub, falseSub = r.True, r.False
 	// Unlink every outgoing edge of n; the subtrees will be re-linked
@@ -290,17 +351,22 @@ func (g *Graph) AdoptSubtree(n *Node, sub *Vertex) {
 	}
 	sub.parent = nil
 	n.Root = sub
+	ops, branches := 0, 0
 	var adopt func(v *Vertex)
 	adopt = func(v *Vertex) {
 		v.node = n
+		ops += len(v.Ops)
 		if v.IsLeaf() {
 			g.link(n, v.Succ)
 			return
 		}
+		branches++
 		adopt(v.True)
 		adopt(v.False)
 	}
 	adopt(sub)
+	n.opCount = ops
+	n.branchCount = branches
 	g.bump()
 }
 
@@ -330,12 +396,12 @@ func (g *Graph) CloneSubtreeFrozen(sub *Vertex) *Vertex {
 func (g *Graph) RegisterSubtreeOps(sub *Vertex) {
 	sub.walk(func(v *Vertex) {
 		for _, op := range v.Ops {
-			if g.locs[op] == nil {
-				g.locs[op] = v
+			if g.loc(op) == nil {
+				g.setLoc(op, v)
 			}
 		}
-		if v.CJ != nil && g.locs[v.CJ] == nil {
-			g.locs[v.CJ] = v
+		if v.CJ != nil && g.loc(v.CJ) == nil {
+			g.setLoc(v.CJ, v)
 		}
 	})
 	g.bump()
@@ -344,7 +410,7 @@ func (g *Graph) RegisterSubtreeOps(sub *Vertex) {
 // HoistOp moves op from its vertex to the parent vertex (one step toward
 // the root, past one conditional jump). Legality is the caller's job.
 func (g *Graph) HoistOp(op *ir.Op) {
-	v := g.locs[op]
+	v := g.loc(op)
 	if v == nil || v.parent == nil {
 		panic("graph: HoistOp at root or unplaced")
 	}

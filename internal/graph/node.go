@@ -20,6 +20,14 @@ type Node struct {
 	// so schedulers get O(1) "is this node below that one" tests
 	// without recomputing traversal orders after every mutation.
 	pos float64
+
+	// opCount/branchCount cache the instruction tree's operation and
+	// conditional-jump totals. Maintained by the Graph mutators (AddOp,
+	// RemoveOp, InsertBranchAtLeaf, AdoptSubtree) so the schedulers'
+	// per-step resource checks are O(1) instead of tree walks; Validate
+	// cross-checks them against a recount.
+	opCount     int
+	branchCount int
 }
 
 // Pos returns the node's order-maintenance key. Larger means later on
@@ -41,15 +49,23 @@ func (n *Node) Ops() []*ir.Op {
 }
 
 // OpCount returns the number of non-branch operations in the tree; this
-// is the number of functional units the instruction occupies.
-func (n *Node) OpCount() int {
+// is the number of functional units the instruction occupies. O(1): the
+// count is maintained by the Graph mutators.
+func (n *Node) OpCount() int { return n.opCount }
+
+// BranchCount returns the number of conditional jumps in the tree. O(1).
+func (n *Node) BranchCount() int { return n.branchCount }
+
+// recountOps recomputes the operation total by walking the tree
+// (Validate's cross-check of the cached count).
+func (n *Node) recountOps() int {
 	c := 0
 	n.Walk(func(v *Vertex) { c += len(v.Ops) })
 	return c
 }
 
-// BranchCount returns the number of conditional jumps in the tree.
-func (n *Node) BranchCount() int {
+// recountBranches recomputes the conditional-jump total by walking.
+func (n *Node) recountBranches() int {
 	c := 0
 	n.Walk(func(v *Vertex) {
 		if v.CJ != nil {
@@ -79,6 +95,29 @@ func (n *Node) Leaves() []*Vertex {
 		}
 	})
 	return ls
+}
+
+// LeafTo returns the first leaf (in left-first preorder, the same order
+// Leaves uses) whose edge points at succ, or nil. Allocation-free — the
+// per-step transformation scans sit on this query.
+func (n *Node) LeafTo(succ *Node) *Vertex {
+	return leafTo(n.Root, succ)
+}
+
+func leafTo(v *Vertex, succ *Node) *Vertex {
+	if v == nil {
+		return nil
+	}
+	if v.IsLeaf() {
+		if v.Succ == succ {
+			return v
+		}
+		return nil
+	}
+	if l := leafTo(v.True, succ); l != nil {
+		return l
+	}
+	return leafTo(v.False, succ)
 }
 
 // Successors returns the distinct successor nodes, in leaf order.

@@ -53,7 +53,7 @@ func (g *Graph) Validate() error {
 					return
 				}
 				seenOps[op] = v
-				if g.locs[op] != v {
+				if g.loc(op) != v {
 					err = fmt.Errorf("n%d: op %v location out of sync", n.ID, op)
 					return
 				}
@@ -86,7 +86,7 @@ func (g *Graph) Validate() error {
 				return
 			}
 			seenOps[v.CJ] = v
-			if g.locs[v.CJ] != v {
+			if g.loc(v.CJ) != v {
 				err = fmt.Errorf("n%d: branch %v location out of sync", n.ID, v.CJ)
 				return
 			}
@@ -105,16 +105,31 @@ func (g *Graph) Validate() error {
 		if err != nil {
 			return err
 		}
+		if got := n.recountOps(); got != n.OpCount() {
+			return fmt.Errorf("n%d: cached op count %d, recount %d", n.ID, n.OpCount(), got)
+		}
+		if got := n.recountBranches(); got != n.BranchCount() {
+			return fmt.Errorf("n%d: cached branch count %d, recount %d", n.ID, n.BranchCount(), got)
+		}
 		if err := checkSingleDefPerPath(n); err != nil {
 			return err
 		}
 	}
 
-	// Every registered location must be placed in a live node.
-	for op, v := range g.locs {
-		if seenOps[op] != v {
-			return fmt.Errorf("loc for op %v points at stale vertex", op)
+	// Every registered location must be placed in a live node, and the
+	// placed-op total must match the table's census.
+	registered := 0
+	for _, e := range g.locs {
+		if e.op == nil {
+			continue
 		}
+		registered++
+		if seenOps[e.op] != e.v {
+			return fmt.Errorf("loc for op %v points at stale vertex", e.op)
+		}
+	}
+	if registered != g.numPlaced {
+		return fmt.Errorf("graph: numPlaced %d, table holds %d", g.numPlaced, registered)
 	}
 
 	// Predecessor edge counts must match a full recount.

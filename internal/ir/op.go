@@ -9,6 +9,11 @@ import (
 // (pre-loop code, epilogue copies, straight-line programs).
 const NoIter = -1
 
+// NoIndex marks operations outside the dense index space: frozen drain
+// clones and epilogue copies, which dependence matrices and scheduler
+// bitsets never address.
+const NoIndex = -1
+
 // Op is a single operation instance. Instances are identified by ID;
 // clones created by node splitting share the same Origin so pattern
 // detection and the Gapless-move test can recognize "the same operation
@@ -26,6 +31,17 @@ type Op struct {
 	ID     int
 	Origin int // position of the operation in the original body; stable across clones
 	Iter   int // iteration the op belongs to, or NoIter
+
+	// Index is the op's position in the dense index space of its
+	// analyzed program: deps.Build assigns Index = i over its op slice,
+	// and every index-addressed structure (dependence bit-matrices,
+	// scheduler bitsets, priority tables) is keyed by it. Stable under
+	// graph.Clone (the clone answers the same dependence queries as the
+	// original); NoIndex on frozen clones, which are new operations
+	// outside any analyzed program. A zero Index is only meaningful for
+	// ops that went through deps.Build — index-addressed lookups verify
+	// identity before trusting it.
+	Index int
 
 	Kind Opcode
 	Dst  Reg
@@ -141,10 +157,13 @@ func (o *Op) ReplaceUse(from, to Reg) {
 }
 
 // Clone returns a copy of the op with a new instance ID and the Frozen
-// flag set as given. Origin and Iter are preserved.
+// flag set as given. Origin and Iter are preserved; the clone is a new
+// operation outside the dense index space (Index = NoIndex), so
+// index-addressed dependence data never aliases it with its origin.
 func (o *Op) Clone(id int, frozen bool) *Op {
 	c := *o
 	c.ID = id
+	c.Index = NoIndex
 	c.Frozen = frozen || o.Frozen
 	return &c
 }

@@ -40,11 +40,12 @@ func (u *Unwound) Clone() *Unwound {
 		}
 		return c
 	}
-	g, opMap := u.G.Clone(c.Alloc)
+	g, byID := u.G.Clone(c.Alloc)
 	c.G = g
+	c.Ops = make([]*ir.Op, 0, len(u.Ops))
 	for _, op := range u.Ops {
-		if m, ok := opMap[op]; ok {
-			c.Ops = append(c.Ops, m)
+		if op.ID < len(byID) && byID[op.ID] != nil {
+			c.Ops = append(c.Ops, byID[op.ID])
 			continue
 		}
 		// Ops removed from the graph by optimization keep plain copies.

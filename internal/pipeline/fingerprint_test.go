@@ -73,9 +73,26 @@ func cancelTestLoop() *ir.LoopSpec {
 	}
 }
 
+// countdownCtx expires after a fixed number of Err polls: a
+// deterministic stand-in for a deadline that fires mid-schedule,
+// immune to both timer slop and the scheduler getting faster.
+type countdownCtx struct {
+	context.Context
+	polls int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.polls <= 0 {
+		return context.DeadlineExceeded
+	}
+	c.polls--
+	return nil
+}
+
 // TestPerfectPipelineCancellation: an already-cancelled context stops
-// the run before any scheduling, and a deadline interrupts a running
-// schedule with context.DeadlineExceeded.
+// the run before any scheduling, and a deadline observed at a
+// mid-schedule checkpoint interrupts the run with
+// context.DeadlineExceeded.
 func TestPerfectPipelineCancellation(t *testing.T) {
 	cancelled, cancel := context.WithCancel(context.Background())
 	cancel()
@@ -83,10 +100,9 @@ func TestPerfectPipelineCancellation(t *testing.T) {
 		t.Errorf("cancelled ctx: err = %v, want context.Canceled", err)
 	}
 
-	ctx, stop := context.WithTimeout(context.Background(), time.Millisecond)
-	defer stop()
 	cfg := DefaultConfig(machine.New(2))
 	cfg.Unwind = 96
+	ctx := &countdownCtx{Context: context.Background(), polls: 50}
 	start := time.Now()
 	_, err := PerfectPipeline(ctx, cancelTestLoop(), cfg)
 	if !errors.Is(err, context.DeadlineExceeded) {

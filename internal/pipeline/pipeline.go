@@ -150,6 +150,7 @@ func pipelineOnce(ctx context.Context, spec *ir.LoopSpec, cfg Config, u int) (*R
 	g := uw.BuildGraph()
 	ddg := deps.Build(uw.Ops)
 	pctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	pctx.D = ddg
 	stats, err := core.Schedule(ctx, pctx, uw.Ops, deps.NewPriority(ddg), core.Options{
 		GapPrevention: cfg.GapPrevention,
 		EmptyPrelude:  cfg.EmptyPrelude,
@@ -194,6 +195,7 @@ func SimplePipeline(ctx context.Context, spec *ir.LoopSpec, cfg Config, n int) (
 	g := uw.BuildGraph()
 	ddg := deps.Build(uw.Ops)
 	pctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
+	pctx.D = ddg
 	stats, err := core.Schedule(ctx, pctx, uw.Ops, deps.NewPriority(ddg), core.Options{
 		Renaming: cfg.Renaming,
 	})

@@ -196,6 +196,7 @@ func (u *Unwound) buildEpilogue(g *graph.Graph, iter int) *graph.Node {
 			ID:     u.Alloc.OpID(),
 			Origin: 1000 + vi,
 			Iter:   ir.NoIter,
+			Index:  ir.NoIndex,
 			Kind:   ir.Copy,
 			Dst:    u.LiveOut[v],
 			Src:    [2]ir.Reg{u.epilogues[iter][vi]},

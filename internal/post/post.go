@@ -66,14 +66,18 @@ func From(ctx context.Context, res *pipeline.Result, cfg pipeline.Config) (*pipe
 
 	uw := res.Unwound
 	g := uw.G
+	// The DDG (and its dependence bit-matrices) is rebuilt over the
+	// phase-1 schedule's current operand state, so the break and refill
+	// sweeps answer their pairwise dependence questions with matrix
+	// loads instead of re-deriving them per query.
 	ddg := deps.Build(uw.Ops)
 	pri := deps.NewPriority(ddg)
 
-	breaks, err := breakNodes(ctx, g, target, pri, uw.ExitLive)
+	breaks, err := breakNodes(ctx, g, target, pri, ddg, uw.ExitLive)
 	if err != nil {
 		return nil, err
 	}
-	if err := refill(ctx, g, target, pri, uw.ExitLive, breaks); err != nil {
+	if err := refill(ctx, g, target, pri, ddg, uw.ExitLive, breaks); err != nil {
 		return nil, err
 	}
 	for _, n := range g.MainChain() {
@@ -108,7 +112,7 @@ func From(ctx context.Context, res *pipeline.Result, cfg pipeline.Config) (*pipe
 // lowest-priority demotable operations out of every over-wide node into
 // freshly inserted break nodes below it, cascading so that no demoted
 // operation lands beside a dependence partner.
-func breakNodes(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool) ([]*graph.Node, error) {
+func breakNodes(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, ddg *deps.DDG, exitLive map[ir.Reg]bool) ([]*graph.Node, error) {
 	var all []*graph.Node
 	if m.InfiniteOps() {
 		return all, nil
@@ -127,13 +131,13 @@ func breakNodes(ctx context.Context, g *graph.Graph, m machine.Machine, pri *dep
 			if op == nil {
 				break
 			}
-			demote(g, n, op, &breaks, m)
+			demote(g, n, op, &breaks, m, ddg)
 		}
 		// Ops that cannot safely move below (stores guarded by the
 		// node's own branch, values live on its exit paths) are instead
 		// promoted into fresh rows above — an exact percolation move.
 		if !m.FitsOps(n.OpCount()) {
-			breaks = append(breaks, promoteExcess(g, n, pri, exitLive, m)...)
+			breaks = append(breaks, promoteExcess(g, n, pri, ddg, exitLive, m)...)
 		}
 		all = append(all, breaks...)
 	}
@@ -192,8 +196,9 @@ func defLiveOffPath(g *graph.Graph, v *graph.Vertex, cont *graph.Vertex, reg ir.
 // over-wide node into fresh rows inserted above it, using the ordinary
 // move-op transformation (which is exact for root ops). Returns the new
 // rows so the refill pass can also consider them.
-func promoteExcess(g *graph.Graph, n *graph.Node, pri *deps.Priority, exitLive map[ir.Reg]bool, m machine.Machine) []*graph.Node {
+func promoteExcess(g *graph.Graph, n *graph.Node, pri *deps.Priority, ddg *deps.DDG, exitLive map[ir.Reg]bool, m machine.Machine) []*graph.Node {
 	ctx := ps.NewCtx(g, m, exitLive)
+	ctx.D = ddg
 	var made []*graph.Node
 	for !m.FitsOps(n.OpCount()) {
 		pre := g.InsertBefore(n)
@@ -229,13 +234,13 @@ func promoteExcess(g *graph.Graph, n *graph.Node, pri *deps.Priority, exitLive m
 // demote moves op out of n into the first break node below n where it
 // fits and conflicts with nothing already demoted, extending the break
 // chain as needed.
-func demote(g *graph.Graph, n *graph.Node, op *ir.Op, breaks *[]*graph.Node, m machine.Machine) {
+func demote(g *graph.Graph, n *graph.Node, op *ir.Op, breaks *[]*graph.Node, m machine.Machine, ddg *deps.DDG) {
 	g.RemoveOp(op)
 	for _, b := range *breaks {
 		if !m.FitsOps(b.OpCount() + 1) {
 			continue
 		}
-		if conflicts(b, op) {
+		if conflicts(b, op, ddg) {
 			continue
 		}
 		g.AddOp(op, b.Root)
@@ -258,11 +263,11 @@ func demote(g *graph.Graph, n *graph.Node, op *ir.Op, breaks *[]*graph.Node, m m
 	*breaks = append(*breaks, nb)
 }
 
-func conflicts(b *graph.Node, op *ir.Op) bool {
+func conflicts(b *graph.Node, op *ir.Op, ddg *deps.DDG) bool {
 	bad := false
 	b.Walk(func(v *graph.Vertex) {
 		for _, p := range v.Ops {
-			if deps.Blocks(p, op) || deps.Blocks(op, p) {
+			if ddg.Blocks(p, op) || ddg.Blocks(op, p) {
 				bad = true
 			}
 		}
@@ -277,8 +282,9 @@ func conflicts(b *graph.Node, op *ir.Op) bool {
 // machinery and no global re-ranking. The locality of this pass (it
 // revisits neither the rest of the schedule nor its own decisions) is
 // what the paper identifies as POST's weakness.
-func refill(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, exitLive map[ir.Reg]bool, targets []*graph.Node) error {
+func refill(ctx context.Context, g *graph.Graph, m machine.Machine, pri *deps.Priority, ddg *deps.DDG, exitLive map[ir.Reg]bool, targets []*graph.Node) error {
 	pctx := ps.NewCtx(g, m, exitLive)
+	pctx.D = ddg
 	for _, n := range targets {
 		if err := ctx.Err(); err != nil {
 			return err

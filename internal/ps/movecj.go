@@ -43,7 +43,8 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 
 	// Dependence scan: the jump's condition registers must not be
 	// produced on the target path (modulo copy propagation).
-	uses := cj.Uses(nil)
+	var useBuf [3]ir.Reg
+	uses := cj.Uses(useBuf[:0])
 	var rewrites []rewrite
 	block := blockNone
 	pathOps(leaf, func(p *ir.Op) bool {
@@ -70,8 +71,11 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 	if !commit {
 		return blockNone
 	}
-	for _, rw := range rewrites {
-		cj.ReplaceUse(rw.from, rw.to)
+	if len(rewrites) > 0 {
+		for _, rw := range rewrites {
+			cj.ReplaceUse(rw.from, rw.to)
+		}
+		c.noteRewrite(cj)
 	}
 
 	// Detach the incoming edge, dissolve the node, and rebuild the two

@@ -45,7 +45,8 @@ func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
 	}
 
 	// Dependence scan along the committed path of the target node.
-	uses := op.Uses(nil)
+	var useBuf [3]ir.Reg
+	uses := op.Uses(useBuf[:0])
 	var rewrites []rewrite
 	block := blockNone
 	pathOps(leaf, func(p *ir.Op) bool {
@@ -107,8 +108,11 @@ func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
 	if !commit {
 		return blockNone
 	}
-	for _, rw := range rewrites {
-		op.ReplaceUse(rw.from, rw.to)
+	if len(rewrites) > 0 {
+		for _, rw := range rewrites {
+			op.ReplaceUse(rw.from, rw.to)
+		}
+		c.noteRewrite(op)
 	}
 	c.G.MoveOp(op, leaf)
 	c.Moves++

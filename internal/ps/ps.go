@@ -12,6 +12,7 @@ package ps
 import (
 	"fmt"
 
+	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/ir"
 	"repro/internal/machine"
@@ -74,6 +75,13 @@ type Ctx struct {
 	// write-live test for speculative hoisting.
 	ExitLive map[ir.Reg]bool
 
+	// D, when set, is the dependence graph of the program being
+	// transformed. The transformations do not consult it — their
+	// legality scans read the live registers — but they report every
+	// committed operand rewrite (copy propagation, renaming) to it so
+	// its precomputed bit-matrices know which ops went stale.
+	D *deps.DDG
+
 	// Stats.
 	Moves   int // successful move-op steps
 	Hoists  int // successful speculation hoists
@@ -90,6 +98,14 @@ func NewCtx(g *graph.Graph, m machine.Machine, exitLive map[ir.Reg]bool) *Ctx {
 	return &Ctx{G: g, M: m, ExitLive: exitLive}
 }
 
+// noteRewrite records that op's operands were just rewritten, keeping
+// the dependence matrices honest.
+func (c *Ctx) noteRewrite(op *ir.Op) {
+	if c.D != nil {
+		c.D.MarkRewritten(op)
+	}
+}
+
 // predLeaf returns the unique predecessor node of n and the leaf in it
 // that points at n, or a structural block. Percolation moves operations
 // up one edge at a time; a node reached by several edges would need the
@@ -101,10 +117,8 @@ func (c *Ctx) predLeaf(n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
 	if t == nil || t == n {
 		return nil, nil, Block{Kind: BlockStructure}
 	}
-	for _, l := range t.Leaves() {
-		if l.Succ == n {
-			return t, l, blockNone
-		}
+	if l := t.LeafTo(n); l != nil {
+		return t, l, blockNone
 	}
 	return nil, nil, Block{Kind: BlockStructure}
 }
@@ -113,8 +127,11 @@ func (c *Ctx) predLeaf(n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
 // root of leaf's node down to leaf (the operations a mover would be
 // inserted after, value-wise). Branches on the path are passed to fb.
 func pathOps(leaf *graph.Vertex, f func(*ir.Op) bool, fb func(*ir.Op) bool) bool {
-	// Collect root -> leaf chain.
-	var chain []*graph.Vertex
+	// Collect root -> leaf chain. Instruction trees are shallow (depth
+	// bounded by the branch-slot budget), so the stack buffer makes the
+	// per-step scan allocation-free.
+	var buf [8]*graph.Vertex
+	chain := buf[:0]
 	for v := leaf; v != nil; v = v.Parent() {
 		chain = append(chain, v)
 	}

@@ -43,11 +43,16 @@ func (c *Ctx) TryMoveOpUpRenamed(op *ir.Op) Block {
 		ID:     c.G.Alloc.OpID(),
 		Origin: op.Origin,
 		Iter:   op.Iter,
+		Index:  ir.NoIndex,
 		Kind:   ir.Copy,
 		Dst:    d,
 		Src:    [2]ir.Reg{r},
 	}
 	op.Dst = r
+	// The retarget invalidates op's rows in any precomputed dependence
+	// matrix; the mark stays even if the move below is reverted
+	// (conservative, never stale).
+	c.noteRewrite(op)
 	c.G.AddOp(compensation, v)
 	c.Renames++
 
