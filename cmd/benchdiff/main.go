@@ -11,9 +11,18 @@
 // present in only one report are listed but never fatal: new kernels
 // and new techniques are growth, not regressions.
 //
+// With -gobench the two arguments are `go test -bench` output files
+// instead: benchmarks are matched by name (the -cpus suffix stripped),
+// ns/op compared against -threshold, and allocs/op compared exactly —
+// an allocation-count increase is an algorithmic regression (the
+// zero-alloc guards are the first line of defence; this gates the
+// trajectory), while ns/op gets the same generous noise threshold the
+// wall-time cells use.
+//
 // Usage:
 //
 //	go run ./cmd/benchdiff [-threshold 1.5] [-min-ms 5] [-no-speedups] old.json new.json
+//	go run ./cmd/benchdiff -gobench [-threshold 4] old.txt new.txt
 //	go run ./cmd/benchdiff -selfcheck
 package main
 
@@ -23,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/sched/batch"
 )
@@ -34,6 +44,8 @@ func main() {
 		"ignore the wall-time check for cells under this many ms in the old report")
 	noSpeedups := flag.Bool("no-speedups", false,
 		"skip the speedup-drift check (wall times only)")
+	gobench := flag.Bool("gobench", false,
+		"compare two `go test -bench` output files (ns/op + allocs/op) instead of bench reports")
 	selfcheck := flag.Bool("selfcheck", false,
 		"run the comparison logic against built-in fixtures and exit (CI bit-rot guard)")
 	flag.Parse()
@@ -42,8 +54,11 @@ func main() {
 		os.Exit(runSelfcheck(os.Stdout))
 	}
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json  (or -selfcheck)")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] old.json new.json  (or -gobench old.txt new.txt, or -selfcheck)")
 		os.Exit(2)
+	}
+	if *gobench {
+		os.Exit(runGobenchDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *threshold))
 	}
 	oldRep, err := load(flag.Arg(0))
 	if err != nil {
@@ -164,8 +179,11 @@ func compare(oldRep, newRep *batch.BenchReport, threshold, minMS float64, checkS
 }
 
 func (r *diffReport) print(w *os.File, oldPath, newPath string) {
-	fmt.Fprintf(w, "benchdiff %s -> %s: %d cells compared, %d skipped (cache hits / below min-ms)\n",
-		oldPath, newPath, r.Compared, r.Skipped)
+	fmt.Fprintf(w, "benchdiff %s -> %s: %d cells compared", oldPath, newPath, r.Compared)
+	if r.Skipped > 0 {
+		fmt.Fprintf(w, ", %d skipped (cache hits / below min-ms)", r.Skipped)
+	}
+	fmt.Fprintln(w)
 	for _, s := range r.OnlyOld {
 		fmt.Fprintf(w, "  missing in new report: %s\n", s)
 	}
@@ -223,7 +241,49 @@ func runSelfcheck(w *os.File) int {
 		fmt.Fprintf(w, "selfcheck FAILED: want 2 regressions (wall + speedup), got %v\n", dirty.Regressions)
 		return 1
 	}
+	if code := gobenchSelfcheck(w); code != 0 {
+		return code
+	}
 	fmt.Fprintf(w, "selfcheck ok: %d cells compared clean, %d regressions detected in dirty fixture\n",
 		clean.Compared, len(dirty.Regressions))
+	return 0
+}
+
+// gobenchSelfcheck proves the -gobench parser and comparison still
+// detect (and still ignore) what they should.
+func gobenchSelfcheck(w *os.File) int {
+	const oldTxt = `goos: linux
+BenchmarkGaplessMove-8      7000000	       150.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCondFourSearch-8 300000000	         3.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMigrationStep-8        100	   9000000 ns/op	  500000 B/op	    2000 allocs/op
+PASS
+`
+	const sameTxt = `BenchmarkGaplessMove-16     7000000	       170.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCondFourSearch-16 300000000	         4.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMigrationStep-16       100	  10000000 ns/op	  500000 B/op	    2000 allocs/op
+BenchmarkNewThing-16           1000	      1000 ns/op	       0 B/op	       0 allocs/op
+`
+	const badTxt = `BenchmarkGaplessMove-8       100000	     40000.0 ns/op	     160 B/op	       3 allocs/op
+BenchmarkCondFourSearch-8 300000000	         3.7 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMigrationStep-8        100	   9500000 ns/op	  500000 B/op	    2000 allocs/op
+`
+	parse := func(s string) map[string]gobenchResult {
+		m, err := parseGobenchFrom(strings.NewReader(s))
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	clean := compareGobench(parse(oldTxt), parse(sameTxt), 4)
+	if len(clean.Regressions) != 0 || clean.Compared != 3 || len(clean.OnlyNew) != 1 {
+		fmt.Fprintf(w, "selfcheck FAILED: clean gobench diff: compared %d, regressions %v, new %v\n",
+			clean.Compared, clean.Regressions, clean.OnlyNew)
+		return 1
+	}
+	dirty := compareGobench(parse(oldTxt), parse(badTxt), 4)
+	if len(dirty.Regressions) != 2 { // ns/op blowup + allocs/op growth on the same benchmark
+		fmt.Fprintf(w, "selfcheck FAILED: dirty gobench diff: want 2 regressions, got %v\n", dirty.Regressions)
+		return 1
+	}
 	return 0
 }

@@ -59,6 +59,69 @@ func TestMigrationStepAllocs(t *testing.T) {
 	}
 }
 
+// TestGaplessProbeAllocs pins the tentpole guarantee of the walk-free
+// gapless search: a steady-state Gapless-move probe — per-iteration
+// count gates, the max-Pos frontier, condition-4 filler scan with
+// canFill dependence probes, and both memo layers — performs zero heap
+// allocations. Each round bumps the graph version with a same-vertex
+// MoveOp so the full evaluation (not just the memo hit) is measured.
+func TestGaplessProbeAllocs(t *testing.T) {
+	pctx, s, ops := buildIterChain(48, 8, 4)
+	g := pctx.G
+	op := ops[2*46+1]
+	from := g.NodeOf(op)
+	home := g.Where(op)
+	if !s.gaplessMove(from, op) {
+		t.Fatal("scenario: probe should succeed via condition 4")
+	}
+	probe := func() {
+		g.MoveOp(op, home) // new generation: memos and frontiers recompute
+		if !s.gaplessMove(from, op) {
+			t.Fatal("probe failed")
+		}
+	}
+	for i := 0; i < 16; i++ {
+		probe() // warm memo map and slice capacities
+	}
+	if allocs := testing.AllocsPerRun(200, probe); allocs != 0 {
+		t.Fatalf("gapless probe allocates %v/run, want 0", allocs)
+	}
+	// Memo-hit steady state (no invalidation) must also be free.
+	if allocs := testing.AllocsPerRun(200, func() { s.gaplessMove(from, op) }); allocs != 0 {
+		t.Fatalf("memoized gapless probe allocates %v/run, want 0", allocs)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGraphAccessorAllocs guards the O(1) accessors the gapless path
+// reads per probe: per-iteration and schedulable counts, compact
+// successor/predecessor queries, and the leaf visits.
+func TestGraphAccessorAllocs(t *testing.T) {
+	pctx, _, ops := buildIterChain(8, 4, 4)
+	g := pctx.G
+	n := g.NodeOf(ops[4])
+	var sink int
+	allocs := testing.AllocsPerRun(500, func() {
+		sink = n.IterCount(2) + n.SchedCount()
+		n.VisitSuccessors(func(s *graph.Node) bool { sink++; return true })
+		if s := n.NonDrainSucc(); s != nil {
+			sink++
+		}
+		if p := g.SinglePred(n); p != nil {
+			sink++
+		}
+		if f := n.FallThrough(); f != nil {
+			sink++
+		}
+		n.VisitLeaves(func(v *graph.Vertex) bool { sink++; return true })
+	})
+	if allocs != 0 {
+		t.Fatalf("graph accessors allocate %v/run, want 0 (sink %d)", allocs, sink)
+	}
+}
+
 // TestChooseOpScanAllocs: the full Moveable-ops scan over a ranked list
 // with suspension and tried state in play is allocation-free.
 func TestChooseOpScanAllocs(t *testing.T) {

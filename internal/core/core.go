@@ -102,6 +102,16 @@ type scheduler struct {
 	// current generation, which keeps the Figure 10 while-loop from
 	// re-probing the whole Moveable set after every unrelated move.
 	gen int
+
+	// Gapless-move machinery (section 3.3), all stamped by the graph
+	// mutation counter so one committed move invalidates everything at
+	// once: per-iteration max-Pos frontiers (condition 3 in O(1)
+	// amortized), memoized gapless verdicts by op index (from is always
+	// the op's home node), and memoized canFill probe results by
+	// (x, leaving) pair.
+	frontiers []iterFrontier
+	gapMemo   []memoEntry
+	fillMemo  map[uint64]memoEntry
 }
 
 // Schedule runs GRiP over pctx.G. ops must contain every schedulable
@@ -137,7 +147,7 @@ func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priorit
 		s.stats.NodesScheduled++
 		// Suspensions are positional; restart them for the next node.
 		s.clearSuspensions()
-		n = nextMain(n)
+		n = n.NonDrainSucc()
 	}
 
 	// Remove any empty rows left on the main chain (unfilled prelude
@@ -183,6 +193,9 @@ func newScheduler(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Pri
 	for _, op := range s.ranked {
 		s.byIter[op.Iter+1] = append(s.byIter[op.Iter+1], op)
 	}
+	s.frontiers = make([]iterFrontier, maxIter+2)
+	s.gapMemo = make([]memoEntry, n)
+	s.fillMemo = make(map[uint64]memoEntry, 64)
 	pri.Rank(s.ranked)
 	return s
 }
@@ -220,20 +233,6 @@ func ensureIndices(ops []*ir.Op) int {
 		op.Index = i
 	}
 	return len(ops)
-}
-
-func nextMain(n *graph.Node) *graph.Node {
-	var next *graph.Node
-	for _, s := range n.Successors() {
-		if s.Drain {
-			continue
-		}
-		if next != nil && next != s {
-			return nil
-		}
-		next = s
-	}
-	return next
 }
 
 // scheduleNode is the procedure of Figure 10 (and Figure 12 when gap

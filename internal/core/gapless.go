@@ -11,6 +11,16 @@ import (
 // and exceeding it conservatively reports "might gap" (suspension).
 const maxGaplessDepth = 64
 
+// memoEntry is one generation-stamped cache slot for a probe verdict.
+// The stamp is the graph mutation counter (graph.Version): probes never
+// mutate the graph, so every verdict computed at one version stays
+// exact until the next committed transformation bumps it. See DESIGN.md
+// for the invalidation contract.
+type memoEntry struct {
+	ver     uint64
+	verdict int8 // 0 = unknown, 1 = holds, 2 = fails
+}
+
 // gaplessMove is the section 3.3 Gapless-move(From, To, Op) test: it
 // reports whether moving op up out of node from can be done without
 // creating a permanent gap in op's iteration. Conditions, in the paper's
@@ -25,71 +35,131 @@ const maxGaplessDepth = 64
 //     left, and Gapless-move(S, from, X) holds recursively — the
 //     temporary gap op leaves is certain to be fillable.
 func (s *scheduler) gaplessMove(from *graph.Node, op *ir.Op) bool {
-	return s.gapless(from, op, 0)
+	ok, _ := s.gapless(from, op, 0)
+	return ok
 }
 
-func (s *scheduler) gapless(from *graph.Node, op *ir.Op, depth int) bool {
+// gapless returns the Gapless-move verdict for op leaving its home node
+// from, plus whether the verdict is exact. A false obtained only
+// because the recursion budget ran out is inexact: a shallower entry
+// point could still prove the move gapless, so such verdicts are never
+// memoized. True verdicts and budget-untouched false verdicts are
+// depth-independent and cache under the current graph version, which
+// stops the recursive search from re-proving the same (node, op)
+// subproblem — from is always op's home, so the op index alone keys it.
+func (s *scheduler) gapless(from *graph.Node, op *ir.Op, depth int) (bool, bool) {
 	if depth > maxGaplessDepth {
-		return false
+		return false, false
 	}
+	g := s.ctx.G
+	idx := op.Index
+	memoable := idx >= 0 && idx < len(s.gapMemo) && g.NodeOf(op) == from
+	if memoable {
+		if e := s.gapMemo[idx]; e.ver == g.Version() && e.verdict != 0 {
+			return e.verdict == 1, true
+		}
+	}
+	ok, exact := s.gaplessEval(from, op, depth)
+	if memoable && (exact || ok) {
+		v := int8(2)
+		if ok {
+			v = 1
+		}
+		s.gapMemo[idx] = memoEntry{ver: g.Version(), verdict: v}
+	}
+	return ok, exact || ok
+}
+
+func (s *scheduler) gaplessEval(from *graph.Node, op *ir.Op, depth int) (bool, bool) {
 	// Condition 1.
 	if from.OpCount()+from.BranchCount() == 1 {
-		return true
+		return true, true
 	}
 	// Condition 2.
 	if from.IterCount(op.Iter) >= 2 {
-		return true
+		return true, true
 	}
 	// Condition 3.
 	if s.isLastOfIter(from, op) {
-		return true
+		return true, true
 	}
 	// Condition 4.
-	for _, succ := range from.Successors() {
+	found, exact := false, true
+	from.VisitSuccessors(func(succ *graph.Node) bool {
 		if succ.Drain {
-			continue
-		}
-		if x := s.findFiller(from, succ, op, depth); x != nil {
 			return true
 		}
-	}
-	return false
+		ok, ex := s.findFiller(succ, op, depth)
+		if ok {
+			found = true
+			return false
+		}
+		if !ex {
+			exact = false
+		}
+		return true
+	})
+	return found, exact || found
 }
 
 // findFiller looks in succ for an op X of op's iteration that can fill
-// the gap op would leave at from.
-func (s *scheduler) findFiller(from, succ *graph.Node, op *ir.Op, depth int) *ir.Op {
-	var found *ir.Op
-	succ.Walk(func(v *graph.Vertex) {
-		if found != nil {
-			return
+// the gap op would leave behind. Instead of walking succ's instruction
+// tree it scans the per-iteration op list behind an O(1) IterCount gate
+// — the gapless search is localized, and an iteration holds only a
+// body's worth of operations. Returns (found, exact) like gapless.
+func (s *scheduler) findFiller(succ *graph.Node, op *ir.Op, depth int) (bool, bool) {
+	if succ.IterCount(op.Iter) == 0 {
+		return false, true
+	}
+	g := s.ctx.G
+	exact := true
+	for _, x := range s.byIter[op.Iter+1] {
+		if x == op || x.Frozen || g.NodeOf(x) != succ {
+			continue
 		}
-		consider := func(x *ir.Op) {
-			if found != nil || x.Frozen || x == op || x.Iter != op.Iter {
-				return
-			}
-			if !s.canFill(x, op) {
-				return
-			}
-			if s.gapless(succ, x, depth+1) {
-				found = x
-			}
+		if !s.canFill(x, op) {
+			continue
 		}
-		for _, x := range v.Ops {
-			consider(x)
+		ok, ex := s.gapless(succ, x, depth+1)
+		if ok {
+			return true, true
 		}
-		if v.CJ != nil {
-			consider(v.CJ)
+		if !ex {
+			exact = false
 		}
-	})
-	return found
+	}
+	return false, exact
 }
 
 // canFill reports whether x could move one node up, assuming `leaving`
-// has already vacated the target. An x buried under a branch inside its
-// node is treated as fillable when it can hoist (it will surface and
-// then move); this slight optimism is documented in DESIGN.md.
+// has already vacated the target. Verdicts are memoized per (x,
+// leaving) pair under the current graph version: one migration step
+// probes the same pairs many times through the condition-4 recursion.
 func (s *scheduler) canFill(x, leaving *ir.Op) bool {
+	g := s.ctx.G
+	memoable := x.Index >= 0 && leaving.Index >= 0
+	var key uint64
+	if memoable {
+		key = uint64(uint32(x.Index))<<32 | uint64(uint32(leaving.Index))
+		if e, ok := s.fillMemo[key]; ok && e.ver == g.Version() {
+			return e.verdict == 1
+		}
+	}
+	ok := s.canFillEval(x, leaving)
+	if memoable {
+		v := int8(2)
+		if ok {
+			v = 1
+		}
+		s.fillMemo[key] = memoEntry{ver: g.Version(), verdict: v}
+	}
+	return ok
+}
+
+// canFillEval is the uncached probe. An x buried under a branch inside
+// its node is treated as fillable when it can hoist (it will surface
+// and then move); this slight optimism is documented in DESIGN.md.
+func (s *scheduler) canFillEval(x, leaving *ir.Op) bool {
 	if x.IsBranch() {
 		return s.ctx.TryMoveCJUp(x, false).Kind == ps.BlockNone
 	}
@@ -100,23 +170,61 @@ func (s *scheduler) canFill(x, leaving *ir.Op) bool {
 	return s.ctx.TryMoveOpUp(x, false, leaving).Kind == ps.BlockNone
 }
 
-// isLastOfIter reports whether no schedulable operation of op's
-// iteration exists strictly below from. Main-chain nodes are totally
-// ordered by their position keys, so the per-iteration op lists make
-// this an O(body) check instead of a graph scan.
-func (s *scheduler) isLastOfIter(from *graph.Node, op *ir.Op) bool {
-	limit := from.Pos()
-	for _, op2 := range s.byIter[op.Iter+1] {
-		if op2 == op || op2.Frozen {
+// iterFrontier caches, per iteration, the two highest node positions
+// holding schedulable ops of that iteration (with the op attaining the
+// maximum), stamped by graph version. Recomputed at most once per
+// iteration per graph mutation; every further isLastOfIter probe in the
+// condition-4 recursion is O(1).
+type iterFrontier struct {
+	ver  uint64
+	n    int     // schedulable ops of the iteration in non-drain nodes
+	op1  *ir.Op  // an op attaining max1
+	max1 float64 // highest home position
+	max2 float64 // highest home position over ops other than op1
+}
+
+func (s *scheduler) frontier(iter int) *iterFrontier {
+	f := &s.frontiers[iter+1]
+	g := s.ctx.G
+	if f.ver == g.Version() {
+		return f
+	}
+	*f = iterFrontier{ver: g.Version()}
+	for _, op := range s.byIter[iter+1] {
+		if op.Frozen {
 			continue
 		}
-		home := s.ctx.G.NodeOf(op2)
+		home := g.NodeOf(op)
 		if home == nil || home.Drain {
 			continue
 		}
-		if home.Pos() > limit {
-			return false
+		p := home.Pos()
+		f.n++
+		switch {
+		case f.op1 == nil:
+			f.op1, f.max1 = op, p
+		case p > f.max1:
+			f.max2 = f.max1
+			f.op1, f.max1 = op, p
+		case f.n == 2 || p > f.max2:
+			f.max2 = p
 		}
 	}
-	return true
+	return f
+}
+
+// isLastOfIter reports whether no schedulable operation of op's
+// iteration exists strictly below from. Main-chain nodes are totally
+// ordered by their position keys, so the cached per-iteration max-Pos
+// frontier answers this in O(1) amortized instead of O(body) per probe.
+func (s *scheduler) isLastOfIter(from *graph.Node, op *ir.Op) bool {
+	f := s.frontier(op.Iter)
+	if f.n == 0 || (f.n == 1 && f.op1 == op) {
+		return true
+	}
+	m := f.max1
+	if f.op1 == op {
+		m = f.max2
+	}
+	return m <= from.Pos()
 }

@@ -18,45 +18,49 @@ func LiveAtEntry(g *graph.Graph, n *graph.Node, r ir.Reg, exitLive map[ir.Reg]bo
 	if r == ir.NoReg {
 		return false
 	}
-	seen := map[*graph.Node]bool{}
-	var visit func(m *graph.Node) bool
-	visit = func(m *graph.Node) bool {
-		if m == nil {
-			return exitLive[r]
-		}
-		if seen[m] {
-			return false
-		}
-		seen[m] = true
-		used := false
-		killed := false
-		m.Walk(func(v *graph.Vertex) {
-			for _, op := range v.Ops {
-				if op.ReadsReg(r) {
-					used = true
-				}
-				if op.Def() == r && v == m.Root {
-					killed = true
-				}
-			}
-			if v.CJ != nil && v.CJ.ReadsReg(r) {
-				used = true
-			}
-		})
-		if used {
-			return true
-		}
-		if killed {
-			return false
-		}
-		for _, l := range m.Leaves() {
-			if visit(l.Succ) {
-				return true
-			}
-		}
+	// Epoch marks instead of a per-call seen map, and VisitLeaves
+	// instead of the allocating Leaves slice: this query runs inside the
+	// schedulers' hoist-legality probes, which must not allocate.
+	return liveAtEntry(g, n, r, exitLive, g.BeginVisit())
+}
+
+func liveAtEntry(g *graph.Graph, m *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool, epoch uint64) bool {
+	if m == nil {
+		return exitLive[r]
+	}
+	if m.Visited(epoch) {
 		return false
 	}
-	return visit(n)
+	used := false
+	killed := false
+	m.Walk(func(v *graph.Vertex) {
+		for _, op := range v.Ops {
+			if op.ReadsReg(r) {
+				used = true
+			}
+			if op.Def() == r && v == m.Root {
+				killed = true
+			}
+		}
+		if v.CJ != nil && v.CJ.ReadsReg(r) {
+			used = true
+		}
+	})
+	if used {
+		return true
+	}
+	if killed {
+		return false
+	}
+	live := false
+	m.VisitLeaves(func(l *graph.Vertex) bool {
+		if liveAtEntry(g, l.Succ, r, exitLive, epoch) {
+			live = true
+			return false
+		}
+		return true
+	})
+	return live
 }
 
 // LiveOnSubtree reports whether register r is observable when control
@@ -70,27 +74,18 @@ func LiveOnSubtree(g *graph.Graph, v *graph.Vertex, r ir.Reg, exitLive map[ir.Re
 	if r == ir.NoReg {
 		return false
 	}
-	live := false
-	var walk func(w *graph.Vertex)
-	walk = func(w *graph.Vertex) {
-		if live {
-			return
+	return liveOnSubtree(g, v, r, exitLive)
+}
+
+func liveOnSubtree(g *graph.Graph, w *graph.Vertex, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+	if w.IsLeaf() {
+		if w.Succ == nil {
+			return exitLive[r]
 		}
-		if w.IsLeaf() {
-			if w.Succ == nil {
-				if exitLive[r] {
-					live = true
-				}
-			} else if LiveAtEntry(g, w.Succ, r, exitLive) {
-				live = true
-			}
-			return
-		}
-		walk(w.True)
-		walk(w.False)
+		return LiveAtEntry(g, w.Succ, r, exitLive)
 	}
-	walk(v)
-	return live
+	return liveOnSubtree(g, w.True, r, exitLive) ||
+		liveOnSubtree(g, w.False, r, exitLive)
 }
 
 // SubtreeDefines reports whether any operation in the subtree rooted at v
@@ -99,23 +94,13 @@ func SubtreeDefines(v *graph.Vertex, r ir.Reg) bool {
 	if r == ir.NoReg {
 		return false
 	}
-	found := false
-	var walk func(w *graph.Vertex)
-	walk = func(w *graph.Vertex) {
-		if found {
-			return
-		}
-		for _, op := range w.Ops {
-			if op.Def() == r {
-				found = true
-				return
-			}
-		}
-		if !w.IsLeaf() {
-			walk(w.True)
-			walk(w.False)
+	for _, op := range v.Ops {
+		if op.Def() == r {
+			return true
 		}
 	}
-	walk(v)
-	return found
+	if v.IsLeaf() {
+		return false
+	}
+	return SubtreeDefines(v.True, r) || SubtreeDefines(v.False, r)
 }

@@ -29,23 +29,25 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	ng := &Graph{
 		Alloc:      alloc,
 		nodes:      make(map[*Node]bool, len(g.nodes)),
-		preds:      make(map[*Node]map[*Node]int, len(g.preds)),
 		locs:       make([]opLoc, len(g.locs)),
 		version:    g.version,
 		nextNodeID: g.nextNodeID,
 		maxPos:     g.maxPos,
 	}
 
-	// Count vertices so every arena is sized exactly: growing an arena
-	// mid-build would move objects already pointed at.
-	nVertices := 0
+	// Count vertices (and per-iteration count slots) so every arena is
+	// sized exactly: growing an arena mid-build would move objects
+	// already pointed at.
+	nVertices, nIterSlots := 0, 0
 	for n := range g.nodes {
 		n.Walk(func(*Vertex) { nVertices++ })
+		nIterSlots += len(n.iterCounts)
 	}
 	opArena := make([]ir.Op, 0, g.numPlaced)
 	vertexArena := make([]Vertex, 0, nVertices)
 	nodeArena := make([]Node, 0, len(g.nodes))
 	opPtrArena := make([]*ir.Op, 0, g.numPlaced)
+	iterArena := make([]int32, 0, nIterSlots)
 
 	byID := make([]*ir.Op, len(g.locs))
 	cloneOp := func(op *ir.Op) *ir.Op {
@@ -66,9 +68,19 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 		nodeArena = append(nodeArena, Node{
 			ID: n.ID, Drain: n.Drain, pos: n.pos,
 			opCount: n.opCount, branchCount: n.branchCount,
+			schedCount: n.schedCount,
 		})
-		nodeMap[n] = &nodeArena[len(nodeArena)-1]
-		ng.nodes[nodeMap[n]] = true
+		nc := &nodeArena[len(nodeArena)-1]
+		if len(n.iterCounts) > 0 {
+			// Capped sub-slice of the shared arena, like vertex op lists:
+			// a later grow on the node re-allocates instead of clobbering
+			// its neighbour.
+			start := len(iterArena)
+			iterArena = append(iterArena, n.iterCounts...)
+			nc.iterCounts = iterArena[start:len(iterArena):len(iterArena)]
+		}
+		nodeMap[n] = nc
+		ng.nodes[nc] = true
 	}
 
 	// Clone each instruction tree; leaf successors are resolved through

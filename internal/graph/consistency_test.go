@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// TestRandomMutationsKeepCachesConsistent drives long random sequences
+// of graph mutations — op placement and movement, freezing, branch
+// insertion, leaf retargeting, node insertion and splicing — and after
+// every step lets Validate cross-check the incremental caches (compact
+// adjacency sets, per-iteration schedulable counts, op/branch counts,
+// op locations) against full recounts. This is the consistency property
+// the walk-free schedulers rely on: no sequence of mutator calls may
+// drift a cache from the structure it summarizes.
+func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			al := ir.NewAlloc()
+			g := New(al)
+
+			var placed []*ir.Op // placed non-branch ops
+			origin := 0
+			newOp := func(iter int) *ir.Op {
+				op := &ir.Op{ID: al.OpID(), Origin: origin, Iter: iter, Kind: ir.Const, Dst: al.Reg(""), Imm: int64(origin)}
+				origin++
+				return op
+			}
+
+			// Seed chain: six single-op nodes over three iterations.
+			var tail *Node
+			for i := 0; i < 6; i++ {
+				op := newOp(i % 3)
+				tail = AppendOp(g, tail, op)
+				placed = append(placed, op)
+			}
+
+			liveNodes := func() []*Node {
+				var ns []*Node
+				for n := range g.nodes {
+					ns = append(ns, n)
+				}
+				// Deterministic pick order under a seeded rng.
+				for i := 1; i < len(ns); i++ {
+					for j := i; j > 0 && ns[j-1].ID > ns[j].ID; j-- {
+						ns[j-1], ns[j] = ns[j], ns[j-1]
+					}
+				}
+				return ns
+			}
+			randNode := func() *Node {
+				ns := liveNodes()
+				return ns[rng.Intn(len(ns))]
+			}
+			randVertex := func(n *Node) *Vertex {
+				var vs []*Vertex
+				n.Walk(func(v *Vertex) { vs = append(vs, v) })
+				return vs[rng.Intn(len(vs))]
+			}
+			prunePlaced := func() {
+				w := 0
+				for _, op := range placed {
+					if g.Where(op) != nil {
+						placed[w] = op
+						w++
+					}
+				}
+				placed = placed[:w]
+			}
+
+			for step := 0; step < 250; step++ {
+				switch rng.Intn(8) {
+				case 0: // place a fresh op (NoIter included, sometimes frozen)
+					iter := rng.Intn(5) - 1
+					op := newOp(iter)
+					if rng.Intn(4) == 0 {
+						op.Frozen = true
+					}
+					g.AddOp(op, randVertex(randNode()))
+					placed = append(placed, op)
+				case 1: // remove a placed op
+					prunePlaced()
+					if len(placed) > 0 {
+						i := rng.Intn(len(placed))
+						g.RemoveOp(placed[i])
+						placed = append(placed[:i], placed[i+1:]...)
+					}
+				case 2: // move a placed op to a random vertex
+					prunePlaced()
+					if len(placed) > 0 {
+						g.MoveOp(placed[rng.Intn(len(placed))], randVertex(randNode()))
+					}
+				case 3: // freeze a placed op through the graph
+					prunePlaced()
+					if len(placed) > 0 {
+						g.FreezeOp(placed[rng.Intn(len(placed))])
+					}
+				case 4: // grow a branch at a random leaf
+					n := randNode()
+					if n.BranchCount() >= 3 {
+						continue // keep trees small
+					}
+					ls := n.Leaves()
+					leaf := ls[rng.Intn(len(ls))]
+					cj := &ir.Op{ID: al.OpID(), Origin: origin, Iter: rng.Intn(3), Kind: ir.CJ,
+						Src: [2]ir.Reg{al.Reg("")}, Imm: 1, BImm: true, Rel: ir.Lt}
+					origin++
+					var tSucc, fSucc *Node
+					ns := liveNodes()
+					if rng.Intn(2) == 0 {
+						tSucc = ns[rng.Intn(len(ns))]
+					}
+					if rng.Intn(2) == 0 {
+						fSucc = ns[rng.Intn(len(ns))]
+					}
+					g.RetargetLeaf(leaf, nil)
+					g.InsertBranchAtLeaf(leaf, cj, tSucc, fSucc)
+				case 5: // retarget a random leaf (nil allowed)
+					n := randNode()
+					ls := n.Leaves()
+					leaf := ls[rng.Intn(len(ls))]
+					var succ *Node
+					if rng.Intn(3) > 0 {
+						succ = randNode()
+					}
+					g.RetargetLeaf(leaf, succ)
+				case 6: // insert an empty node before a random one
+					g.InsertBefore(randNode())
+				case 7: // splice an empty node out (no-op unless empty)
+					n := randNode()
+					if n == g.Entry && n.FallThrough() == nil {
+						continue // would leave the graph entry-less
+					}
+					g.SpliceOutEmpty(n)
+				}
+				if err := g.Validate(); err != nil {
+					t.Fatalf("seed %d step %d: %v", seed, step, err)
+				}
+			}
+
+			// Spot-check the O(1) reads against explicit recounts.
+			for _, n := range liveNodes() {
+				wantSched, wantIters := n.recountSched()
+				if n.SchedCount() != wantSched {
+					t.Fatalf("SchedCount() = %d, recount %d", n.SchedCount(), wantSched)
+				}
+				for iter := -1; iter < 6; iter++ {
+					if got, want := n.IterCount(iter), int(wantIters[iter+1]); got != want {
+						t.Fatalf("IterCount(%d) = %d, recount %d", iter, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEdgeSetOverflow exercises the inline-array overflow path of the
+// compact adjacency sets: a node with more distinct successors and
+// predecessors than the inline capacity, plus parallel edges, must
+// answer Preds/Successors/PredEdgeCount/SinglePred exactly and survive
+// edge removal back below the inline boundary.
+func TestEdgeSetOverflow(t *testing.T) {
+	al := ir.NewAlloc()
+	g := New(al)
+	hub := g.NewNode()
+	g.Entry = hub
+
+	// Give the hub three branches -> four leaves, each pointing at its
+	// own successor: 4 distinct successors (> inlineEdges).
+	var succs []*Node
+	for i := 0; i < 4; i++ {
+		succs = append(succs, g.NewNode())
+	}
+	mkCJ := func() *ir.Op {
+		return &ir.Op{ID: al.OpID(), Kind: ir.CJ, Src: [2]ir.Reg{al.Reg("")}, Imm: 1, BImm: true, Rel: ir.Lt}
+	}
+	t0, f0 := g.InsertBranchAtLeaf(hub.Root, mkCJ(), nil, nil)
+	t1, f1 := g.InsertBranchAtLeaf(t0, mkCJ(), nil, nil)
+	t2, f2 := g.InsertBranchAtLeaf(f0, mkCJ(), nil, nil)
+	for i, leaf := range []*Vertex{t1, f1, t2, f2} {
+		g.RetargetLeaf(leaf, succs[i])
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Successors(); len(got) != 4 {
+		t.Fatalf("hub successors = %d, want 4", len(got))
+	}
+	for _, s := range succs {
+		if g.SinglePred(s) != hub {
+			t.Fatalf("succ n%d SinglePred != hub", s.ID)
+		}
+	}
+
+	// Now give one successor four distinct predecessors (the hub plus
+	// three fresh single-leaf nodes) and a parallel edge.
+	target := succs[0]
+	var extra []*Node
+	for i := 0; i < 3; i++ {
+		n := g.NewNode()
+		extra = append(extra, n)
+		g.RetargetLeaf(n.Root, target)
+	}
+	g.RetargetLeaf(f1, target) // second hub edge: parallel to t1's
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.PredEdgeCount(target); got != 5 {
+		t.Fatalf("PredEdgeCount = %d, want 5", got)
+	}
+	if got := len(g.Preds(target)); got != 4 {
+		t.Fatalf("distinct preds = %d, want 4", got)
+	}
+	if g.SinglePred(target) != nil {
+		t.Fatal("SinglePred must be nil with 5 in-edges")
+	}
+
+	// Unwind the overflow: drop edges until one remains.
+	g.RetargetLeaf(f1, nil)
+	for _, n := range extra {
+		g.RetargetLeaf(n.Root, nil)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.SinglePred(target) != hub {
+		t.Fatal("SinglePred must return the hub again")
+	}
+	if got := hub.NonDrainSucc(); got != nil {
+		t.Fatalf("NonDrainSucc over 4 successors = n%d, want nil (ambiguous)", got.ID)
+	}
+}

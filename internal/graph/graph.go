@@ -16,15 +16,17 @@ type opLoc struct {
 }
 
 // Graph is a VLIW program graph. All structural mutation must go through
-// Graph methods so that predecessor sets, operation locations, cached
+// Graph methods so that adjacency sets, operation locations, cached
 // node op counts, and the cached traversal order stay consistent;
 // Validate cross-checks every invariant and is run liberally in tests.
+// Adjacency lives on the nodes themselves (Node.preds/Node.succs compact
+// edge sets) rather than in a graph-level map, so predecessor and
+// successor queries in scheduler hot paths are allocation-free scans.
 type Graph struct {
 	Entry *Node
 	Alloc *ir.Alloc
 
 	nodes map[*Node]bool
-	preds map[*Node]map[*Node]int // successor -> predecessor -> edge count
 
 	// locs maps op.ID -> location. Op IDs are dense (ir.Alloc hands
 	// them out sequentially), so this is a slice lookup on the
@@ -35,7 +37,7 @@ type Graph struct {
 	version    uint64
 	orderVer   uint64
 	orderCache []*Node
-	indexCache map[*Node]int
+	epoch      uint64
 	nextNodeID int
 	maxPos     float64
 }
@@ -48,7 +50,6 @@ func New(alloc *ir.Alloc) *Graph {
 	return &Graph{
 		Alloc: alloc,
 		nodes: make(map[*Node]bool),
-		preds: make(map[*Node]map[*Node]int),
 		locs:  make([]opLoc, alloc.NumOps()+1),
 	}
 }
@@ -92,9 +93,21 @@ func (g *Graph) clearLoc(op *ir.Op) {
 }
 
 // Version changes whenever the graph structure or op placement changes.
+// Schedulers use it as the invalidation generation for memoized probe
+// results (see DESIGN.md): any cached answer stamped with an older
+// version must be recomputed.
 func (g *Graph) Version() uint64 { return g.version }
 
 func (g *Graph) bump() { g.version++ }
+
+// BeginVisit starts a fresh traversal epoch for Node.Visited marks.
+// Traversals that used to allocate a map[*Node]bool per call mark nodes
+// against the epoch instead. A traversal must finish with its epoch
+// before the next BeginVisit; graphs are confined to one goroutine.
+func (g *Graph) BeginVisit() uint64 {
+	g.epoch++
+	return g.epoch
+}
 
 // NewNode creates a node whose tree is a single leaf with no successor.
 // Its position key places it after every existing node; use SetPos or
@@ -109,12 +122,15 @@ func (g *Graph) NewNode() *Node {
 	return n
 }
 
-// SetPos overrides a node's order-maintenance key.
+// SetPos overrides a node's order-maintenance key. It bumps the graph
+// version: position keys feed the schedulers' below-the-frontier tests,
+// so memoized probe results stamped before the change must not survive.
 func (g *Graph) SetPos(n *Node, pos float64) {
 	n.pos = pos
 	if pos > g.maxPos {
 		g.maxPos = pos
 	}
+	g.bump()
 }
 
 // PlaceBetween keys n halfway between a and b (either may be nil for
@@ -131,6 +147,7 @@ func (g *Graph) PlaceBetween(n, a, b *Node) {
 	default:
 		n.pos = (a.pos + b.pos) / 2
 	}
+	g.bump()
 }
 
 // NumNodes returns the number of live nodes.
@@ -151,66 +168,50 @@ func (g *Graph) NodeOf(op *ir.Op) *Node {
 	return nil
 }
 
-// Preds returns the distinct predecessors of n.
+// Preds returns the distinct predecessors of n, in first-edge order.
+// Allocates the result slice (used by the splice/insert passes, which
+// mutate edges while iterating and need a snapshot); hot paths use
+// SinglePred or VisitPreds.
 func (g *Graph) Preds(n *Node) []*Node {
-	var ps []*Node
-	for p, c := range g.preds[n] {
-		if c > 0 {
-			ps = append(ps, p)
-		}
-	}
+	ps := make([]*Node, 0, n.preds.n)
+	n.preds.visit(func(p *Node, _ int32) bool {
+		ps = append(ps, p)
+		return true
+	})
 	return ps
+}
+
+// VisitPreds calls f for every distinct predecessor of n, stopping
+// early when f returns false. Allocation-free; f must not mutate edges.
+func (g *Graph) VisitPreds(n *Node, f func(*Node) bool) {
+	n.preds.visit(func(p *Node, _ int32) bool { return f(p) })
 }
 
 // PredEdgeCount returns the total number of edges into n.
 func (g *Graph) PredEdgeCount(n *Node) int {
-	t := 0
-	for _, c := range g.preds[n] {
-		t += c
-	}
-	return t
+	return n.preds.total()
 }
 
 // SinglePred returns the unique predecessor of n when n has exactly one
-// incoming edge, else nil.
+// incoming edge, else nil. O(1) on the compact adjacency set.
 func (g *Graph) SinglePred(n *Node) *Node {
-	var only *Node
-	total := 0
-	for p, c := range g.preds[n] {
-		if c > 0 {
-			total += c
-			only = p
-		}
-	}
-	if total == 1 {
-		return only
-	}
-	return nil
+	return n.preds.single()
 }
 
 func (g *Graph) link(from, to *Node) {
 	if to == nil {
 		return
 	}
-	m := g.preds[to]
-	if m == nil {
-		m = make(map[*Node]int)
-		g.preds[to] = m
-	}
-	m[from]++
+	to.preds.add(from)
+	from.succs.add(to)
 }
 
 func (g *Graph) unlink(from, to *Node) {
 	if to == nil {
 		return
 	}
-	m := g.preds[to]
-	if m == nil || m[from] == 0 {
+	if !to.preds.remove(from) || !from.succs.remove(to) {
 		panic(fmt.Sprintf("graph: unlink of absent edge n%d->n%d", from.ID, to.ID))
-	}
-	m[from]--
-	if m[from] == 0 {
-		delete(m, from)
 	}
 }
 
@@ -243,8 +244,9 @@ func (g *Graph) AddOp(op *ir.Op, v *Vertex) {
 	}
 	v.Ops = append(v.Ops, op)
 	g.setLoc(op, v)
-	if v.node != nil {
-		v.node.opCount++
+	if n := v.node; n != nil {
+		n.opCount++
+		n.noteOpAdded(op)
 	}
 	g.bump()
 }
@@ -262,9 +264,30 @@ func (g *Graph) RemoveOp(op *ir.Op) {
 		panic("graph: op location out of sync")
 	}
 	g.clearLoc(op)
-	if v.node != nil {
-		v.node.opCount--
+	if n := v.node; n != nil {
+		n.opCount--
+		n.noteOpRemoved(op)
 	}
+	g.bump()
+}
+
+// FreezeOp marks a placed operation Frozen, maintaining the per-node
+// schedulable counts. The Frozen flag of a placed op must never be
+// flipped directly: the incremental caches depend on the graph seeing
+// the transition. (Ops frozen before placement — drain clones, epilogue
+// copies — just go through AddOp as usual.)
+func (g *Graph) FreezeOp(op *ir.Op) {
+	v := g.loc(op)
+	if v == nil {
+		panic("graph: FreezeOp of unplaced op")
+	}
+	if op.Frozen {
+		return
+	}
+	if n := v.node; n != nil {
+		n.noteOpRemoved(op)
+	}
+	op.Frozen = true
 	g.bump()
 }
 
@@ -301,8 +324,9 @@ func (g *Graph) InsertBranchAtLeaf(leaf *Vertex, cj *ir.Op, tSucc, fSucc *Node) 
 	leaf.True = t
 	leaf.False = f
 	g.setLoc(cj, leaf)
-	if leaf.node != nil {
-		leaf.node.branchCount++
+	if n := leaf.node; n != nil {
+		n.branchCount++
+		n.noteOpAdded(cj)
 	}
 	g.bump()
 	return t, f
@@ -337,7 +361,6 @@ func (g *Graph) DetachBranchRoot(n *Node) (cj *ir.Op, rootOps []*ir.Op, trueSub,
 		panic("graph: DetachBranchRoot with live predecessors")
 	}
 	delete(g.nodes, n)
-	delete(g.preds, n)
 	g.bump()
 	return cj, rootOps, trueSub, falseSub
 }
@@ -351,16 +374,21 @@ func (g *Graph) AdoptSubtree(n *Node, sub *Vertex) {
 	}
 	sub.parent = nil
 	n.Root = sub
+	n.resetSchedCounts()
 	ops, branches := 0, 0
 	var adopt func(v *Vertex)
 	adopt = func(v *Vertex) {
 		v.node = n
 		ops += len(v.Ops)
+		for _, op := range v.Ops {
+			n.noteOpAdded(op)
+		}
 		if v.IsLeaf() {
 			g.link(n, v.Succ)
 			return
 		}
 		branches++
+		n.noteOpAdded(v.CJ)
 		adopt(v.True)
 		adopt(v.False)
 	}
@@ -425,28 +453,27 @@ func (g *Graph) SpliceOutEmpty(n *Node) bool {
 	if !n.Empty() {
 		return false
 	}
-	ls := n.Leaves()
-	if len(ls) != 1 {
-		return false
-	}
-	succ := ls[0].Succ
+	leaf := n.Root // empty ⇒ branch-free ⇒ the root is the only leaf
+	succ := leaf.Succ
 	if succ == n { // self-loop; cannot splice
 		return false
 	}
-	// Redirect every predecessor leaf pointing at n.
+	// Redirect every predecessor leaf pointing at n. Preds snapshots the
+	// set; retargeting rewires edges but never reshapes a pred's tree,
+	// so the in-place leaf visit is safe.
 	for _, p := range g.Preds(n) {
-		for _, leaf := range p.Leaves() {
-			if leaf.Succ == n {
-				g.RetargetLeaf(leaf, succ)
+		p.VisitLeaves(func(l *Vertex) bool {
+			if l.Succ == n {
+				g.RetargetLeaf(l, succ)
 			}
-		}
+			return true
+		})
 	}
 	if g.Entry == n {
 		g.Entry = succ
 	}
-	g.RetargetLeaf(ls[0], nil)
+	g.RetargetLeaf(leaf, nil)
 	delete(g.nodes, n)
-	delete(g.preds, n)
 	g.bump()
 	return true
 }
@@ -459,18 +486,20 @@ func (g *Graph) SpliceOutEmpty(n *Node) bool {
 func (g *Graph) InsertBefore(n *Node) *Node {
 	nn := g.NewNode()
 	var before *Node
-	for _, p := range g.Preds(n) {
+	g.VisitPreds(n, func(p *Node) bool {
 		if before == nil || p.pos > before.pos {
 			before = p
 		}
-	}
+		return true
+	})
 	g.PlaceBetween(nn, before, n)
 	for _, p := range g.Preds(n) {
-		for _, leaf := range p.Leaves() {
+		p.VisitLeaves(func(leaf *Vertex) bool {
 			if leaf.Succ == n {
 				g.RetargetLeaf(leaf, nn)
 			}
-		}
+			return true
+		})
 	}
 	g.RetargetLeaf(nn.Root, n)
 	if g.Entry == n {
@@ -486,17 +515,17 @@ func (g *Graph) Order() []*Node {
 	if g.orderCache != nil && g.orderVer == g.version {
 		return g.orderCache
 	}
-	var post []*Node
-	seen := map[*Node]bool{}
+	post := make([]*Node, 0, len(g.nodes))
+	epoch := g.BeginVisit()
 	var dfs func(n *Node)
 	dfs = func(n *Node) {
-		if n == nil || seen[n] {
+		if n == nil || n.Visited(epoch) {
 			return
 		}
-		seen[n] = true
-		for _, l := range n.Leaves() {
+		n.VisitLeaves(func(l *Vertex) bool {
 			dfs(l.Succ)
-		}
+			return true
+		})
 		post = append(post, n)
 	}
 	dfs(g.Entry)
@@ -504,19 +533,20 @@ func (g *Graph) Order() []*Node {
 		post[i], post[j] = post[j], post[i]
 	}
 	g.orderCache = post
-	g.indexCache = make(map[*Node]int, len(post))
-	for i, n := range post {
-		g.indexCache[n] = i
-	}
 	g.orderVer = g.version
+	for i, n := range post {
+		n.orderIdx = int32(i)
+		n.orderStamp = g.orderVer
+	}
 	return post
 }
 
-// Index returns the position of n in Order, or -1 if unreachable.
+// Index returns the position of n in Order, or -1 if unreachable. O(1)
+// after the order cache is built: the index is stamped on the node.
 func (g *Graph) Index(n *Node) int {
 	g.Order()
-	if i, ok := g.indexCache[n]; ok {
-		return i
+	if n.orderStamp == g.orderVer {
+		return int(n.orderIdx)
 	}
 	return -1
 }
@@ -526,22 +556,10 @@ func (g *Graph) Index(n *Node) int {
 // instruction sequence whose rows form the pipelined schedule.
 func (g *Graph) MainChain() []*Node {
 	var chain []*Node
-	seen := map[*Node]bool{}
-	for n := g.Entry; n != nil && !seen[n]; {
-		seen[n] = true
+	epoch := g.BeginVisit()
+	for n := g.Entry; n != nil && !n.Visited(epoch); {
 		chain = append(chain, n)
-		var next *Node
-		for _, s := range n.Successors() {
-			if s.Drain {
-				continue
-			}
-			if next != nil && next != s {
-				// Ambiguous: stop the spine here.
-				return chain
-			}
-			next = s
-		}
-		n = next
+		n = n.NonDrainSucc()
 	}
 	return chain
 }

@@ -179,16 +179,20 @@ func TestValidateCatchesDoubleDef(t *testing.T) {
 
 func TestIterCountAndSchedCount(t *testing.T) {
 	g, ns, ops := buildChain(t)
-	_ = g
 	if ns[0].IterCount(0) != 1 || ns[0].IterCount(1) != 0 {
 		t.Fatal("IterCount wrong")
 	}
-	ops[0].Frozen = true
+	// Freezing must go through the graph so the incremental counts see
+	// the transition.
+	g.FreezeOp(ops[0])
 	if ns[0].IterCount(0) != 0 || ns[0].SchedCount() != 0 {
 		t.Fatal("frozen ops must not count")
 	}
 	if ns[2].SchedCount() != 1 { // the branch
 		t.Fatal("branch must count as schedulable")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after FreezeOp: %v", err)
 	}
 }
 

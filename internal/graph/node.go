@@ -28,11 +28,50 @@ type Node struct {
 	// cross-checks them against a recount.
 	opCount     int
 	branchCount int
+
+	// schedCount and iterCounts cache the schedulable (non-frozen)
+	// operation totals, overall and per iteration (iterCounts[iter+1];
+	// slot 0 holds NoIter ops). Maintained by the same mutators plus
+	// FreezeOp, so the Gapless-move test's IterCount/SchedCount queries
+	// are O(1) slice reads instead of tree walks; Validate cross-checks
+	// them against a recount. See DESIGN.md.
+	schedCount int
+	iterCounts []int32
+
+	// preds/succs are the node's compact adjacency sets, maintained by
+	// the Graph's link/unlink on every leaf-edge mutation and
+	// cross-checked by Validate. They replace the graph-level
+	// map[*Node]map[*Node]int predecessor table, making Preds,
+	// SinglePred, and successor iteration allocation-free scans.
+	preds edgeSet
+	succs edgeSet
+
+	// orderIdx/orderStamp cache the node's position in the graph's
+	// reverse-postorder; valid when orderStamp matches the graph's
+	// current order version (Graph.Index).
+	orderIdx   int32
+	orderStamp uint64
+
+	// seenEpoch supports allocation-free graph traversals: a traversal
+	// obtains a fresh epoch from Graph.BeginVisit and marks nodes with
+	// Visited instead of building a map.
+	seenEpoch uint64
 }
 
 // Pos returns the node's order-maintenance key. Larger means later on
 // the main chain. Keys of drain nodes are not meaningful.
 func (n *Node) Pos() float64 { return n.pos }
+
+// Visited marks n as seen in traversal epoch e and reports whether it
+// had already been marked. Epochs come from Graph.BeginVisit; a
+// traversal must finish with one epoch before another begins.
+func (n *Node) Visited(e uint64) bool {
+	if n.seenEpoch == e {
+		return true
+	}
+	n.seenEpoch = e
+	return false
+}
 
 // Walk visits every vertex of the instruction tree in preorder.
 func (n *Node) Walk(f func(*Vertex)) {
@@ -56,6 +95,48 @@ func (n *Node) OpCount() int { return n.opCount }
 // BranchCount returns the number of conditional jumps in the tree. O(1).
 func (n *Node) BranchCount() int { return n.branchCount }
 
+// noteOpAdded updates the schedulable-op caches for an op (branches
+// included) just placed somewhere in n's tree.
+func (n *Node) noteOpAdded(op *ir.Op) {
+	if op.Frozen {
+		return
+	}
+	n.schedCount++
+	n.bumpIter(op.Iter, 1)
+}
+
+// noteOpRemoved is the inverse of noteOpAdded.
+func (n *Node) noteOpRemoved(op *ir.Op) {
+	if op.Frozen {
+		return
+	}
+	n.schedCount--
+	n.bumpIter(op.Iter, -1)
+}
+
+func (n *Node) bumpIter(iter int, d int32) {
+	i := iter + 1 // slot 0 is NoIter
+	if i < 0 {
+		panic("graph: op with iteration below NoIter")
+	}
+	for len(n.iterCounts) <= i {
+		n.iterCounts = append(n.iterCounts, 0)
+	}
+	n.iterCounts[i] += d
+	if n.iterCounts[i] < 0 {
+		panic("graph: per-iteration op count underflow")
+	}
+}
+
+// resetSchedCounts clears the schedulable-op caches (AdoptSubtree
+// recomputes them from the adopted tree).
+func (n *Node) resetSchedCounts() {
+	n.schedCount = 0
+	for i := range n.iterCounts {
+		n.iterCounts[i] = 0
+	}
+}
+
 // recountOps recomputes the operation total by walking the tree
 // (Validate's cross-check of the cached count).
 func (n *Node) recountOps() int {
@@ -75,6 +156,30 @@ func (n *Node) recountBranches() int {
 	return c
 }
 
+// recountSched recomputes the schedulable totals by walking: the
+// overall count plus the per-iteration counts keyed exactly like
+// iterCounts (Validate's cross-check of the incremental caches).
+func (n *Node) recountSched() (int, map[int]int32) {
+	c := 0
+	iters := map[int]int32{}
+	count := func(o *ir.Op) {
+		if o.Frozen {
+			return
+		}
+		c++
+		iters[o.Iter+1]++
+	}
+	n.Walk(func(v *Vertex) {
+		for _, o := range v.Ops {
+			count(o)
+		}
+		if v.CJ != nil {
+			count(v.CJ)
+		}
+	})
+	return c, iters
+}
+
 // Branches returns the conditional-jump ops in the tree, root first.
 func (n *Node) Branches() []*ir.Op {
 	var cjs []*ir.Op
@@ -87,14 +192,34 @@ func (n *Node) Branches() []*ir.Op {
 }
 
 // Leaves returns the leaf vertices of the tree, left (true side) first.
+// Allocates; hot paths use VisitLeaves.
 func (n *Node) Leaves() []*Vertex {
 	var ls []*Vertex
-	n.Walk(func(v *Vertex) {
-		if v.IsLeaf() {
-			ls = append(ls, v)
-		}
+	n.VisitLeaves(func(v *Vertex) bool {
+		ls = append(ls, v)
+		return true
 	})
 	return ls
+}
+
+// VisitLeaves visits the leaf vertices in left-first preorder (the same
+// order Leaves uses), stopping early when f returns false. It reports
+// whether the visit ran to completion. Allocation-free.
+func (n *Node) VisitLeaves(f func(*Vertex) bool) bool {
+	return visitLeaves(n.Root, f)
+}
+
+func visitLeaves(v *Vertex, f func(*Vertex) bool) bool {
+	if v == nil {
+		return true
+	}
+	if v.IsLeaf() {
+		return f(v)
+	}
+	if !visitLeaves(v.True, f) {
+		return false
+	}
+	return visitLeaves(v.False, f)
 }
 
 // LeafTo returns the first leaf (in left-first preorder, the same order
@@ -120,17 +245,46 @@ func leafTo(v *Vertex, succ *Node) *Vertex {
 	return leafTo(v.False, succ)
 }
 
-// Successors returns the distinct successor nodes, in leaf order.
+// Successors returns the distinct successor nodes in first-edge order,
+// read off the compact adjacency set. Allocates the result slice; hot
+// paths use VisitSuccessors or NonDrainSucc.
 func (n *Node) Successors() []*Node {
-	var succs []*Node
-	seen := map[*Node]bool{}
-	for _, l := range n.Leaves() {
-		if l.Succ != nil && !seen[l.Succ] {
-			seen[l.Succ] = true
-			succs = append(succs, l.Succ)
-		}
-	}
+	succs := make([]*Node, 0, n.succs.n)
+	n.succs.visit(func(s *Node, _ int32) bool {
+		succs = append(succs, s)
+		return true
+	})
 	return succs
+}
+
+// VisitSuccessors calls f for every distinct successor node, stopping
+// early when f returns false. Allocation-free: it iterates the compact
+// adjacency set maintained on edge mutation.
+func (n *Node) VisitSuccessors(f func(*Node) bool) {
+	n.succs.visit(func(s *Node, _ int32) bool { return f(s) })
+}
+
+// NonDrainSucc returns the unique non-drain successor, or nil when the
+// node has none or several (the main-chain step used by every
+// scheduler's top-down traversal). O(successors), allocation-free.
+func (n *Node) NonDrainSucc() *Node {
+	var next *Node
+	ambiguous := false
+	n.succs.visit(func(s *Node, _ int32) bool {
+		if s.Drain {
+			return true
+		}
+		if next != nil {
+			ambiguous = true
+			return false
+		}
+		next = s
+		return true
+	})
+	if ambiguous {
+		return nil
+	}
+	return next
 }
 
 // Empty reports whether the instruction holds no operations and no
@@ -140,46 +294,28 @@ func (n *Node) Empty() bool {
 	return n.OpCount() == 0 && n.BranchCount() == 0
 }
 
-// IterCount returns how many operations from iteration iter are scheduled
-// in this instruction (branches included); the Gapless-move test uses it.
+// IterCount returns how many schedulable (non-frozen) operations from
+// iteration iter are scheduled in this instruction (branches included);
+// the Gapless-move test sits on it. O(1): the per-iteration counts are
+// maintained incrementally by the Graph mutators.
 func (n *Node) IterCount(iter int) int {
-	c := 0
-	n.Walk(func(v *Vertex) {
-		for _, o := range v.Ops {
-			if o.Iter == iter && !o.Frozen {
-				c++
-			}
-		}
-		if v.CJ != nil && v.CJ.Iter == iter && !v.CJ.Frozen {
-			c++
-		}
-	})
-	return c
+	if i := iter + 1; i >= 0 && i < len(n.iterCounts) {
+		return int(n.iterCounts[i])
+	}
+	return 0
 }
 
 // SchedCount returns the number of schedulable (non-frozen) ops and
-// branches in the node.
-func (n *Node) SchedCount() int {
-	c := 0
-	n.Walk(func(v *Vertex) {
-		for _, o := range v.Ops {
-			if !o.Frozen {
-				c++
-			}
-		}
-		if v.CJ != nil && !v.CJ.Frozen {
-			c++
-		}
-	})
-	return c
-}
+// branches in the node. O(1).
+func (n *Node) SchedCount() int { return n.schedCount }
 
 // FallThrough returns the single successor when the node has exactly one
-// leaf, else nil.
+// leaf, else nil. O(1): a tree with b branch vertices has b+1 leaves, so
+// a single-leaf node is exactly a branch-free node whose root is the
+// leaf.
 func (n *Node) FallThrough() *Node {
-	ls := n.Leaves()
-	if len(ls) == 1 {
-		return ls[0].Succ
+	if n.branchCount == 0 && n.Root != nil {
+		return n.Root.Succ
 	}
 	return nil
 }

@@ -19,7 +19,8 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: entry n%d not registered", g.Entry.ID)
 	}
 
-	recount := map[*Node]map[*Node]int{}
+	recount := map[*Node]map[*Node]int{}     // successor -> predecessor -> edges
+	succRecount := map[*Node]map[*Node]int{} // predecessor -> successor -> edges
 	seenOps := map[*ir.Op]*Vertex{}
 
 	for n := range g.nodes {
@@ -74,6 +75,12 @@ func (g *Graph) Validate() error {
 						recount[v.Succ] = m
 					}
 					m[n]++
+					sm := succRecount[n]
+					if sm == nil {
+						sm = map[*Node]int{}
+						succRecount[n] = sm
+					}
+					sm[v.Succ]++
 				}
 				return
 			}
@@ -111,6 +118,23 @@ func (g *Graph) Validate() error {
 		if got := n.recountBranches(); got != n.BranchCount() {
 			return fmt.Errorf("n%d: cached branch count %d, recount %d", n.ID, n.BranchCount(), got)
 		}
+		gotSched, gotIters := n.recountSched()
+		if gotSched != n.SchedCount() {
+			return fmt.Errorf("n%d: cached sched count %d, recount %d", n.ID, n.SchedCount(), gotSched)
+		}
+		for i, c := range n.iterCounts {
+			if c < 0 {
+				return fmt.Errorf("n%d: negative count %d for iteration %d", n.ID, c, i-1)
+			}
+			if c != gotIters[i] {
+				return fmt.Errorf("n%d: cached iter %d count %d, recount %d", n.ID, i-1, c, gotIters[i])
+			}
+		}
+		for i, c := range gotIters {
+			if c != 0 && (i >= len(n.iterCounts) || n.iterCounts[i] != c) {
+				return fmt.Errorf("n%d: iteration %d holds %d schedulable ops, cache missed them", n.ID, i-1, c)
+			}
+		}
 		if err := checkSingleDefPerPath(n); err != nil {
 			return err
 		}
@@ -132,19 +156,51 @@ func (g *Graph) Validate() error {
 		return fmt.Errorf("graph: numPlaced %d, table holds %d", g.numPlaced, registered)
 	}
 
-	// Predecessor edge counts must match a full recount.
+	// The incremental adjacency sets must match a full edge recount, in
+	// both directions (same pattern as the op-count cross-check).
 	for n := range g.nodes {
-		want := recount[n]
-		got := g.preds[n]
-		for p, c := range want {
-			if got[p] != c {
-				return fmt.Errorf("n%d: pred count for n%d = %d, want %d", n.ID, p.ID, got[p], c)
-			}
+		if err := checkEdgeSet(g, n, &n.preds, recount[n], "pred"); err != nil {
+			return err
 		}
-		for p, c := range got {
-			if c != 0 && want[p] != c {
-				return fmt.Errorf("n%d: stale pred count for n%d = %d, want %d", n.ID, p.ID, c, want[p])
-			}
+		if err := checkEdgeSet(g, n, &n.succs, succRecount[n], "succ"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkEdgeSet cross-checks one node's incremental adjacency set
+// against the edge multiset rebuilt from the leaf walk.
+func checkEdgeSet(g *Graph, n *Node, s *edgeSet, want map[*Node]int, dir string) error {
+	got := map[*Node]int{}
+	err := error(nil)
+	s.visit(func(m *Node, c int32) bool {
+		if c <= 0 {
+			err = fmt.Errorf("n%d: %s entry for n%d with count %d", n.ID, dir, m.ID, c)
+			return false
+		}
+		if !g.nodes[m] {
+			err = fmt.Errorf("n%d: %s entry for deleted node n%d", n.ID, dir, m.ID)
+			return false
+		}
+		if _, dup := got[m]; dup {
+			err = fmt.Errorf("n%d: duplicate %s entry for n%d", n.ID, dir, m.ID)
+			return false
+		}
+		got[m] = int(c)
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for m, c := range want {
+		if got[m] != c {
+			return fmt.Errorf("n%d: %s count for n%d = %d, want %d", n.ID, dir, m.ID, got[m], c)
+		}
+	}
+	for m, c := range got {
+		if want[m] != c {
+			return fmt.Errorf("n%d: stale %s count for n%d = %d, want %d", n.ID, dir, m.ID, c, want[m])
 		}
 	}
 	return nil

@@ -311,7 +311,7 @@ func refillCandidate(g *graph.Graph, ctx *ps.Ctx, n *graph.Node, pri *deps.Prior
 	var cands []*ir.Op
 	node := n
 	for w := 0; w < refillWindow; w++ {
-		next := nextNonDrain(node)
+		next := node.NonDrainSucc()
 		if next == nil {
 			break
 		}
@@ -331,20 +331,6 @@ func refillCandidate(g *graph.Graph, ctx *ps.Ctx, n *graph.Node, pri *deps.Prior
 		}
 	}
 	return nil
-}
-
-func nextNonDrain(n *graph.Node) *graph.Node {
-	var nx *graph.Node
-	for _, s := range n.Successors() {
-		if s.Drain {
-			continue
-		}
-		if nx != nil && nx != s {
-			return nil
-		}
-		nx = s
-	}
-	return nx
 }
 
 // pullTo advances op step by step until it reaches n or blocks.

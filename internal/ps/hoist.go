@@ -72,25 +72,18 @@ func findDef(v *graph.Vertex, d ir.Reg, except *ir.Op) Block {
 	if d == ir.NoReg {
 		return blockNone
 	}
-	block := blockNone
-	var walk func(w *graph.Vertex)
-	walk = func(w *graph.Vertex) {
-		if block.Kind != BlockNone {
-			return
-		}
-		for _, p := range w.Ops {
-			if p != except && p.Def() == d {
-				block = Block{Kind: BlockDep, By: p}
-				return
-			}
-		}
-		if !w.IsLeaf() {
-			walk(w.True)
-			walk(w.False)
+	for _, p := range v.Ops {
+		if p != except && p.Def() == d {
+			return Block{Kind: BlockDep, By: p}
 		}
 	}
-	walk(v)
-	return block
+	if v.IsLeaf() {
+		return blockNone
+	}
+	if blk := findDef(v.True, d, except); blk.Kind != BlockNone {
+		return blk
+	}
+	return findDef(v.False, d, except)
 }
 
 // HoistToRoot hoists op repeatedly until it reaches the root vertex of

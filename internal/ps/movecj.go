@@ -45,7 +45,8 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 	// produced on the target path (modulo copy propagation).
 	var useBuf [3]ir.Reg
 	uses := cj.Uses(useBuf[:0])
-	var rewrites []rewrite
+	var rwBuf [4]rewrite
+	rewrites := rwBuf[:0]
 	block := blockNone
 	pathOps(leaf, func(p *ir.Op) bool {
 		if d := p.Def(); d != ir.NoReg {

@@ -44,10 +44,13 @@ func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
 		return blk
 	}
 
-	// Dependence scan along the committed path of the target node.
+	// Dependence scan along the committed path of the target node. The
+	// rewrite list lives in a stack buffer: probe calls (commit=false,
+	// the Gapless-move test's canFill) must not allocate.
 	var useBuf [3]ir.Reg
 	uses := op.Uses(useBuf[:0])
-	var rewrites []rewrite
+	var rwBuf [4]rewrite
+	rewrites := rwBuf[:0]
 	block := blockNone
 	pathOps(leaf, func(p *ir.Op) bool {
 		if p == excluding || p == op {

@@ -80,7 +80,7 @@ func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stat
 			return s.stats, err
 		}
 		s.stats.NodesScheduled++
-		n = next(n)
+		n = n.NonDrainSucc()
 	}
 	for _, n := range g.MainChain() {
 		if g.Has(n) && !n.Drain {
@@ -88,20 +88,6 @@ func Schedule(ctx *ps.Ctx, ops []*ir.Op, pri *deps.Priority, opts Options) (Stat
 		}
 	}
 	return s.stats, nil
-}
-
-func next(n *graph.Node) *graph.Node {
-	var nx *graph.Node
-	for _, s := range n.Successors() {
-		if s.Drain {
-			continue
-		}
-		if nx != nil && nx != s {
-			return nil
-		}
-		nx = s
-	}
-	return nx
 }
 
 func (s *sched) scheduleNode(n *graph.Node, ops []*ir.Op) error {
