@@ -38,7 +38,17 @@ func main() {
 	unwind := flag.Int("unwind", 0, "fix the unwind factor (0 = automatic ladder); joins the cache key")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"worker count when comparing several widths (batch path only; -print/-no-opt runs are sequential)")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result-cache directory shared with cmd/table1; widths already scheduled\n"+
+			"by any process are served from disk (batch path only)")
 	flag.Parse()
+
+	if *cacheDir != "" {
+		if _, err := harness.EnableDiskCache(*cacheDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	tech := *technique
 	if *schedAlias != "" {
@@ -91,7 +101,11 @@ func main() {
 	for _, f := range fus {
 		jobs = append(jobs, batch.Job{Technique: tech, Spec: spec, Machine: machine.New(f), Config: cfg})
 	}
-	outcomes, err := batch.Run(context.Background(), jobs, batch.Options{Parallelism: *parallel})
+	// The shared cache carries the tiered store: in-memory always, plus
+	// the -cache-dir disk tier so widths scheduled by earlier processes
+	// (this command or cmd/table1) cost a file read.
+	outcomes, err := batch.Run(context.Background(), jobs,
+		batch.Options{Parallelism: *parallel, Cache: harness.SharedCache()})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

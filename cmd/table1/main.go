@@ -7,16 +7,24 @@
 // same table layout.
 //
 // -config overrides the techniques' paper-default configuration for
-// every cell, and -sweep-unwind runs the whole matrix once per unwind
-// factor: each configuration is a distinct cache key, so sweep cells
-// cache independently while paper-default cells stay bit-identical to
-// BENCH_table1.json.
+// every cell; -sweep-unwind runs the whole matrix once per unwind
+// factor and -sweep-gap once per gap-prevention setting (the ROADMAP's
+// on/off ablation). Each configuration is a distinct cache key, so
+// sweep cells cache independently while paper-default cells stay
+// bit-identical to BENCH_table1.json.
+//
+// -cache-dir attaches a persistent metrics tier: every computed cell
+// is written through to disk, and a later process serves it from there
+// — a warm rerun schedules nothing. -cache-clear wipes that tier
+// before running; cache statistics (memory hits / disk hits / misses /
+// bytes on disk) print to stderr at exit.
 //
 // Usage:
 //
 //	go run ./cmd/table1 [-fus 2,4,8] [-loops LL1,LL3] [-csv] [-validate]
 //	                    [-parallel N] [-technique grip,post]
 //	                    [-config unwind=24,gap=false] [-sweep-unwind 0,12,24,48]
+//	                    [-sweep-gap] [-cache-dir .gripcache] [-cache-clear]
 //	                    [-timeout 5m] [-bench-out BENCH_table1.json]
 package main
 
@@ -36,6 +44,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/sched/batch"
+	"repro/internal/sched/store"
 )
 
 func main() {
@@ -58,6 +67,13 @@ func run() int {
 	sweepFlag := flag.String("sweep-unwind", "",
 		"comma-separated unwind factors; runs the matrix once per factor through the shared\n"+
 			"per-config cache (0 = the automatic ladder, i.e. the paper default)")
+	sweepGap := flag.Bool("sweep-gap", false,
+		"gap-prevention ablation: run the matrix with the section 3.3 machinery on and off\n"+
+			"(composes with -sweep-unwind; each variant is a distinct cache key)")
+	cacheDir := flag.String("cache-dir", "",
+		"persistent result-cache directory; cells computed by any process are served\n"+
+			"from disk by later runs against the same directory")
+	cacheClear := flag.Bool("cache-clear", false, "wipe the disk cache tier before running (requires -cache-dir)")
 	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none)")
 	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -136,23 +152,63 @@ func run() int {
 		return 2
 	}
 
-	// The run's configurations: the base config alone, or one per sweep
-	// factor. Validation covers the same set, so -validate certifies
-	// exactly the schedules the run displayed.
-	runConfigs := []sched.Config{cfg}
+	if *cacheClear && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-cache-clear requires -cache-dir")
+		return 2
+	}
+	var disk *store.Disk
+	if *cacheDir != "" {
+		disk, err = harness.EnableDiskCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if *cacheClear {
+			if err := disk.Clear(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+	}
+
+	// The run's configurations: the base config alone, or its expansion
+	// by the sweep flags (which compose: -sweep-unwind × -sweep-gap).
+	// Validation covers the same set, so -validate certifies exactly
+	// the schedules the run displayed.
+	variants := []sweepVariant{{cfg: cfg}}
 	if *sweepFlag != "" {
 		factors, err := parseFactors(*sweepFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		runConfigs = nil
+		var expanded []sweepVariant
 		for _, u := range factors {
 			c := cfg
 			c.Unwind = u
-			runConfigs = append(runConfigs, c)
+			label := fmt.Sprintf("unwind=%d", u)
+			if u == 0 {
+				label += " (auto)"
+			}
+			expanded = append(expanded, sweepVariant{label: label, cfg: c})
 		}
+		variants = expanded
 	}
+	if *sweepGap {
+		var expanded []sweepVariant
+		for _, v := range variants {
+			on, off := v.cfg, v.cfg
+			on.NoGapPrevention = false
+			off.NoGapPrevention = true
+			expanded = append(expanded,
+				sweepVariant{label: joinLabel(v.label, "gap=on"), cfg: on},
+				sweepVariant{label: joinLabel(v.label, "gap=off"), cfg: off})
+		}
+		variants = expanded
+	}
+	// Sweep output is selected by the flags, not the variant count: a
+	// single-factor -sweep-unwind still renders as a sweep row.
+	sweeping := *sweepFlag != "" || *sweepGap
 
 	opts := batch.Options{
 		Parallelism: *parallel,
@@ -163,8 +219,8 @@ func run() int {
 	start := time.Now()
 	var outcomes []batch.Outcome
 	var runErr error
-	if *sweepFlag != "" {
-		outcomes, runErr = runSweep(kernels, fus, techniques, runConfigs, opts, *csv)
+	if sweeping {
+		outcomes, runErr = runSweep(kernels, fus, techniques, variants, opts, *csv)
 	} else {
 		var tbl *harness.Table
 		tbl, outcomes, runErr = harness.RunTable(context.Background(), kernels, fus, techniques, cfg, opts)
@@ -193,13 +249,15 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d cells, %.1fs wall)\n", *benchOut, len(outcomes), elapsed.Seconds())
 	}
+	printCacheStats(opts.Cache, disk != nil)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		return 1
 	}
 
 	if *validate {
-		for _, c := range runConfigs {
+		for _, v := range variants {
+			c := v.cfg
 			suffix := ""
 			if c != (sched.Config{}) {
 				suffix = " [" + c.Fingerprint() + "]"
@@ -216,6 +274,33 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// printCacheStats reports the tiered cache's traffic at exit: where
+// hits came from, how much was computed, and — when a disk tier is
+// attached — what the persistent tier now holds.
+func printCacheStats(c *batch.Cache, diskAttached bool) {
+	st := c.Stats()
+	fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d disk hits, %d misses",
+		st.MemoryHits, st.DiskHits, st.Misses)
+	if diskAttached {
+		fmt.Fprintf(os.Stderr, "; disk tier: %d entries, %d bytes", st.Disk.Entries, st.Disk.Bytes)
+		if st.Disk.Rejected > 0 {
+			fmt.Fprintf(os.Stderr, ", %d rejected (corrupt/stale, recomputed)", st.Disk.Rejected)
+		}
+		if st.Disk.WriteErrors > 0 {
+			fmt.Fprintf(os.Stderr, ", %d write errors", st.Disk.WriteErrors)
+		}
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+// joinLabel composes sweep-dimension labels ("unwind=24 gap=off").
+func joinLabel(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + " " + b
 }
 
 // parseFactors parses the -sweep-unwind flag's factor list.
@@ -273,36 +358,38 @@ func parseConfig(s string) (sched.Config, error) {
 	return cfg, nil
 }
 
-// runSweep runs the technique matrix once per configuration (one per
-// unwind factor). Every factor is a distinct configuration fingerprint,
-// so the shared cache holds the sweep's cells side by side; rerunning a
-// factor is free.
-func runSweep(kernels []*livermore.Kernel, fus []int, techniques []string, configs []sched.Config, opts batch.Options, csv bool) ([]batch.Outcome, error) {
+// sweepVariant is one configuration of a sweep, with its display
+// label.
+type sweepVariant struct {
+	label string
+	cfg   sched.Config
+}
+
+// runSweep runs the technique matrix once per variant (unwind factors,
+// gap-prevention on/off, or their cross product). Every variant is a
+// distinct configuration fingerprint, so the shared cache holds the
+// sweep's cells side by side; rerunning a variant is free.
+func runSweep(kernels []*livermore.Kernel, fus []int, techniques []string, variants []sweepVariant, opts batch.Options, csv bool) ([]batch.Outcome, error) {
 	if csv {
-		fmt.Println("unwind,loop,fus,technique,speedup,converged,cache_hit,wall_ms")
+		fmt.Println("config,loop,fus,technique,speedup,converged,cache_hit,wall_ms")
 	}
 	var all []batch.Outcome
-	for _, cfg := range configs {
-		u := cfg.Unwind
-		tbl, outs, err := harness.RunTable(context.Background(), kernels, fus, techniques, cfg, opts)
+	for _, v := range variants {
+		tbl, outs, err := harness.RunTable(context.Background(), kernels, fus, techniques, v.cfg, opts)
 		all = append(all, outs...)
 		if err != nil {
-			return all, fmt.Errorf("unwind=%d: %w", u, err)
+			return all, fmt.Errorf("%s: %w", v.label, err)
 		}
 		if csv {
 			for _, o := range outs {
 				r := o.Result
-				fmt.Printf("%d,%s,%d,%s,%.3f,%v,%v,%.3f\n",
-					u, o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Job.Technique,
+				fmt.Printf("%s,%s,%d,%s,%.3f,%v,%v,%.3f\n",
+					strings.ReplaceAll(v.label, " ", ";"), o.Job.DisplayName(), o.Job.Machine.OpSlots, o.Job.Technique,
 					r.Speedup, r.Converged, o.CacheHit, float64(o.Wall.Microseconds())/1000)
 			}
 			continue
 		}
-		label := fmt.Sprintf("unwind=%d", u)
-		if u == 0 {
-			label += " (auto)"
-		}
-		fmt.Printf("%-16s", label)
+		fmt.Printf("%-24s", v.label)
 		for fi, f := range fus {
 			if fi > 0 {
 				fmt.Print(" |")
@@ -312,10 +399,6 @@ func runSweep(kernels []*livermore.Kernel, fus []int, techniques []string, confi
 			}
 		}
 		fmt.Println()
-	}
-	if opts.Cache != nil {
-		hits, misses := opts.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "sweep cache: %d hits, %d misses across %d outcomes\n", hits, misses, len(all))
 	}
 	return all, nil
 }

@@ -119,10 +119,26 @@ func ListSchedule(loop *Loop, m MachineModel) *listsched.Result {
 	return listsched.Schedule(loop, m)
 }
 
-// SchedResult is the normalized result every registered scheduling
-// backend reports (speedup, cycles/iteration, convergence, kernel
-// shape, barrier count).
+// SchedResult is the result every registered scheduling backend
+// reports: normalized metrics plus an optional raw attachment
+// (requested via SchedRequest.Want, accessed via Raw/CloneRaw).
 type SchedResult = sched.Result
+
+// SchedMetrics is the normalized, serializable metrics tier of a
+// scheduling result (speedup, cycles/iteration, convergence, kernel
+// shape, barrier count) — the part persistent caches keep for every
+// fingerprint.
+type SchedMetrics = sched.Metrics
+
+// SchedWant hints what a request needs beyond the metrics; it never
+// joins cache keys.
+type SchedWant = sched.Want
+
+// Re-exported Want values.
+const (
+	WantMetrics = sched.WantMetrics
+	WantRaw     = sched.WantRaw
+)
 
 // SchedBackend is the uniform interface scheduling techniques implement.
 type SchedBackend = sched.Scheduler
@@ -148,9 +164,11 @@ type BatchOutcome = batch.Outcome
 // and an optional shared result cache with single-flight dedup.
 type BatchOptions = batch.Options
 
-// BatchCache is a thread-safe LRU of scheduling results keyed by
+// BatchCache is the thread-safe tiered result store keyed by
 // (technique, loop fingerprint, machine fingerprint, config
-// fingerprint), deduplicating identical in-flight computations.
+// fingerprint): an in-memory metrics tier plus a capped raw tier,
+// optionally backed by a persistent on-disk tier (AttachDisk),
+// deduplicating identical in-flight computations.
 type BatchCache = batch.Cache
 
 // Schedulers lists the registered scheduling techniques ("grip",

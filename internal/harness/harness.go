@@ -25,21 +25,39 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sched"
 	"repro/internal/sched/batch"
+	"repro/internal/sched/store"
 )
 
 // defaultCache is shared by every harness entry point in the process,
-// so a cell scheduled for the table is not re-scheduled for validation
-// or a bench rerun. Entries pin their Raw scheduling results (the full
-// unwound graph, roughly a megabyte for the widest cells), so the
-// capacity is sized to the working set — the full Table 1 is 84 cells
-// — rather than made generous; see ROADMAP for the two-tier design
-// that would keep metrics cheap and graphs scarce.
-var defaultCache = batch.NewCache(128)
+// so a cell scheduled for the table is not re-scheduled for a summary
+// pass or a bench rerun. The store is two-tier: metrics are tiny
+// comparable values, so the metrics tier is sized to retain every
+// fingerprint a process plausibly touches (full tables, sweeps over
+// many configurations); raw scheduled graphs — megabytes each, wanted
+// only by validation and figure paths — live in the store's capped
+// raw tier and are recomputed when evicted.
+var defaultCache = batch.NewCache(8192)
 
 // SharedCache returns the process-wide result cache the harness runs
 // against; commands can pass it to their own batch runs to share work
 // with table runs.
 func SharedCache() *batch.Cache { return defaultCache }
+
+// EnableDiskCache attaches a persistent metrics tier rooted at dir to
+// the process-wide shared cache, making table and bench runs
+// incremental across processes: every computed cell is written through
+// to disk, and a later process serves it from there without
+// scheduling anything. Call it during command setup, before batch
+// traffic. It returns the store so commands can report its stats or
+// clear it.
+func EnableDiskCache(dir string) (*store.Disk, error) {
+	d, err := store.OpenDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	defaultCache.AttachDisk(d)
+	return d, nil
+}
 
 // Table1Techniques is the paper's technique pair, in its column order.
 var Table1Techniques = []string{"grip", "post"}
@@ -136,8 +154,13 @@ func RunCell(k *livermore.Kernel, fus int, techniques []string) (Cell, error) {
 // code semantically equivalent to the original loop on the kernel's
 // workload, for full and early-exit trip counts.
 func ValidateCell(k *livermore.Kernel, fus int, cfg sched.Config) error {
+	// Validation needs the raw scheduled graph, so the job asks for the
+	// attachment; the cache serves it only when the raw tier still
+	// holds it, and recomputes the cell otherwise — metrics tiers
+	// (memory or disk) never satisfy a WantRaw request.
 	outs, err := batch.Run(context.Background(),
-		[]batch.Job{{Technique: "grip", Spec: k.Spec, Machine: machine.New(fus), Config: cfg, Label: k.Name}},
+		[]batch.Job{{Technique: "grip", Spec: k.Spec, Machine: machine.New(fus), Config: cfg,
+			Label: k.Name, Want: sched.WantRaw}},
 		batch.Options{Cache: defaultCache})
 	if err != nil {
 		return err
@@ -145,10 +168,10 @@ func ValidateCell(k *livermore.Kernel, fus int, cfg sched.Config) error {
 	if outs[0].Err != nil {
 		return outs[0].Err
 	}
-	// Clone before validating: cached results are shared read-only, and
+	// CloneRaw, not Raw: cached attachments are shared read-only, and
 	// simulation setup (InitState) allocates array IDs on the result's
 	// allocator.
-	res := outs[0].Result.Raw.(*pipeline.Result).Clone()
+	res := outs[0].Result.CloneRaw().(*pipeline.Result)
 	u := int64(res.U)
 	trips := []int64{k.Spec.Start + 1, k.Spec.Start + u/3, k.Spec.Start + u}
 	return pipeline.ValidateSemantics(res, k.Vars, k.Arrays(res.U+16), trips)

@@ -26,8 +26,11 @@ func init() {
 	Register(listScheduler{})
 }
 
-func fromPipeline(name string, res *pipeline.Result) *Result {
-	out := &Result{
+// fromPipeline normalizes a pipeline result, attaching the raw result
+// only when the request asked for it — a metrics-only result does not
+// pin the unwound graph, so caches holding it stay tiny.
+func fromPipeline(name string, res *pipeline.Result, want Want) *Result {
+	m := Metrics{
 		Technique:     name,
 		Loop:          res.Spec.Name,
 		CyclesPerIter: res.CyclesPerIter,
@@ -35,13 +38,21 @@ func fromPipeline(name string, res *pipeline.Result) *Result {
 		Converged:     res.Converged,
 		Rows:          res.Rows,
 		Barriers:      res.Stats.ResourceBarriers,
-		Raw:           res,
 	}
 	if res.Kernel != nil {
-		out.KernelRows = res.Kernel.Rows
-		out.KernelIterSpan = res.Kernel.IterSpan
+		m.KernelRows = res.Kernel.Rows
+		m.KernelIterSpan = res.Kernel.IterSpan
 	}
-	return out
+	return NewResult(m, attach(want, res))
+}
+
+// attach returns the raw value when the request wants it, nil
+// otherwise.
+func attach(want Want, raw any) any {
+	if want == WantRaw {
+		return raw
+	}
+	return nil
 }
 
 // gripScheduler is the paper's technique: Perfect Pipelining with
@@ -55,7 +66,7 @@ func (gripScheduler) Schedule(ctx context.Context, req Request) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return fromPipeline("grip", res), nil
+	return fromPipeline("grip", res, req.Want), nil
 }
 
 // postScheduler is the POST baseline. Its first phase — Perfect
@@ -87,7 +98,7 @@ func (s postScheduler) Schedule(ctx context.Context, req Request) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return fromPipeline("post", res), nil
+	return fromPipeline("post", res, req.Want), nil
 }
 
 // moduloScheduler is the iterative modulo-scheduling baseline. The
@@ -101,7 +112,7 @@ func (moduloScheduler) Schedule(ctx context.Context, req Request) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	return NewResult(Metrics{
 		Technique:      "modulo",
 		Loop:           req.Spec.Name,
 		CyclesPerIter:  float64(res.II),
@@ -110,8 +121,7 @@ func (moduloScheduler) Schedule(ctx context.Context, req Request) (*Result, erro
 		KernelRows:     res.II,
 		KernelIterSpan: 1,
 		Rows:           res.Makespan,
-		Raw:            res,
-	}, nil
+	}, attach(req.Want, res)), nil
 }
 
 // listScheduler is plain greedy compaction of one iteration. The
@@ -126,7 +136,7 @@ func (listScheduler) Schedule(ctx context.Context, req Request) (*Result, error)
 		return nil, err
 	}
 	res := listsched.Schedule(req.Spec, req.Machine)
-	return &Result{
+	return NewResult(Metrics{
 		Technique:      "list",
 		Loop:           req.Spec.Name,
 		CyclesPerIter:  float64(res.Cycles),
@@ -135,8 +145,7 @@ func (listScheduler) Schedule(ctx context.Context, req Request) (*Result, error)
 		KernelRows:     res.Cycles,
 		KernelIterSpan: 1,
 		Rows:           res.Cycles,
-		Raw:            res,
-	}, nil
+	}, attach(req.Want, res)), nil
 }
 
 // phase1Memo is a small LRU of immutable phase-1 pipeline results.

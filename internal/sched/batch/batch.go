@@ -1,10 +1,11 @@
 // Package batch executes scheduling jobs against the sched registry
 // concurrently: a worker pool with configurable parallelism, context
-// cancellation, per-job timeouts, and an LRU result cache with
-// single-flight dedup keyed by a canonical fingerprint of (technique,
-// loop spec, machine, configuration), so repeated cells — bench reruns,
-// Table 1 summary recomputations, validation passes, config sweeps —
-// cost nothing.
+// cancellation, per-job timeouts, and a tiered result store (memory →
+// optional disk → compute; see internal/sched/store) with single-flight
+// dedup keyed by a canonical fingerprint of (technique, loop spec,
+// machine, configuration), so repeated cells — bench reruns, Table 1
+// summary recomputations, validation passes, config sweeps — cost
+// nothing, across processes once a disk tier is attached.
 package batch
 
 import (
@@ -36,6 +37,12 @@ type Job struct {
 	// name); it does not participate in the cache key. Empty means the
 	// spec's own name.
 	Label string
+	// Want hints whether this job needs the raw attachment (validation
+	// paths do; table cells do not). It is retention advice, not
+	// experiment identity, so it does not participate in Key — but the
+	// cache serves a WantRaw job from a tier only when the raw
+	// attachment is actually resident there.
+	Want sched.Want
 }
 
 // DisplayName returns the job's label, falling back to the spec name.
@@ -48,7 +55,7 @@ func (j Job) DisplayName() string {
 
 // Request returns the job as the registry's first-class request triple.
 func (j Job) Request() sched.Request {
-	return sched.Request{Spec: j.Spec, Machine: j.Machine, Config: j.Config}
+	return sched.Request{Spec: j.Spec, Machine: j.Machine, Config: j.Config, Want: j.Want}
 }
 
 // Key returns the job's canonical cache key: the technique joined with
@@ -70,6 +77,10 @@ type Outcome struct {
 	// computation (CacheHit true).
 	Wall     time.Duration
 	CacheHit bool
+	// Tier reports which store tier served the result: TierCompute when
+	// this job ran the scheduler (CacheHit false), TierMemory/TierDisk/
+	// TierFlight otherwise.
+	Tier Tier
 }
 
 // Options tune a batch run.
@@ -179,10 +190,9 @@ func runOne(ctx context.Context, j Job, opts Options, cut *atomic.Bool) Outcome 
 	}
 	start := time.Now()
 	if opts.Cache != nil {
-		var shared bool
-		out.Result, shared, out.Err = opts.Cache.GetOrCompute(runCtx, j.Key(), compute)
-		out.CacheHit = shared
-		if !shared {
+		out.Result, out.Tier, out.Err = opts.Cache.GetOrCompute(runCtx, j.Key(), j.Want, compute)
+		out.CacheHit = out.Tier != TierCompute
+		if !out.CacheHit {
 			out.Wall = time.Since(start)
 		}
 	} else {

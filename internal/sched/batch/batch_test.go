@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/sched"
 	"repro/internal/sched/batch"
+	"repro/internal/sched/store"
 )
 
 func tinyLoop(name string) *ir.LoopSpec {
@@ -49,7 +52,7 @@ func (s *stubScheduler) Schedule(ctx context.Context, req sched.Request) (*sched
 			return nil, ctx.Err()
 		}
 	}
-	return &sched.Result{Technique: s.name, Loop: req.Spec.Name, Speedup: 1, Converged: true}, nil
+	return sched.NewResult(sched.Metrics{Technique: s.name, Loop: req.Spec.Name, Speedup: 1, Converged: true}, nil), nil
 }
 
 var registerOnce sync.Once
@@ -132,9 +135,8 @@ func TestCacheHitMiss(t *testing.T) {
 	if got := countStub.calls.Load(); got != 1 {
 		t.Errorf("scheduler ran %d times; cache should have held it to 1", got)
 	}
-	hits, misses := cache.Stats()
-	if hits != 2 || misses != 1 {
-		t.Errorf("cache stats hits=%d misses=%d, want 2/1", hits, misses)
+	if st := cache.Stats(); st.MemoryHits != 2 || st.Misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 2/1", st.MemoryHits, st.Misses)
 	}
 
 	// A different machine is a different key.
@@ -151,7 +153,7 @@ func TestCacheHitMiss(t *testing.T) {
 
 func TestCacheLRUEviction(t *testing.T) {
 	c := batch.NewCache(2)
-	r := &sched.Result{}
+	r := sched.NewResult(sched.Metrics{}, nil)
 	c.Put("a", r)
 	c.Put("b", r)
 	if _, ok := c.Get("a"); !ok { // refresh a
@@ -236,8 +238,11 @@ func TestConfigCachesIndependently(t *testing.T) {
 		if !o.CacheHit {
 			t.Errorf("job %d: rerun with identical config missed the cache", i)
 		}
-		if o.Result != first[i].Result {
-			t.Errorf("job %d: rerun returned a different result pointer", i)
+		// Metrics move through the cache by value, so reruns compare by
+		// content, not pointer identity — no caller aliases another's
+		// result record.
+		if o.Result.Metrics != first[i].Result.Metrics {
+			t.Errorf("job %d: rerun metrics differ: %+v != %+v", i, o.Result.Metrics, first[i].Result.Metrics)
 		}
 	}
 }
@@ -389,9 +394,8 @@ func TestSingleFlightDedup(t *testing.T) {
 	if leaders != 1 {
 		t.Errorf("%d outcomes report CacheHit=false, want exactly the leader", leaders)
 	}
-	hits, misses := cache.Stats()
-	if hits != 3 || misses != 1 {
-		t.Errorf("cache stats hits=%d misses=%d, want 3/1", hits, misses)
+	if st := cache.Stats(); st.MemoryHits != 3 || st.Misses != 1 {
+		t.Errorf("cache stats hits=%d misses=%d, want 3/1", st.MemoryHits, st.Misses)
 	}
 }
 
@@ -487,6 +491,212 @@ func TestParallelBitIdentical(t *testing.T) {
 			t.Errorf("%s @%dFU: parallel diverged: seq %+v par %+v",
 				jobs[i].Technique, jobs[i].Machine.OpSlots, s.Result, p.Result)
 		}
+	}
+}
+
+// TestDiskTierServesSecondCache simulates the cross-process warm run:
+// a fresh cache sharing the first cache's disk directory must serve
+// every cell from the disk tier without calling the scheduler, with
+// metrics bit-identical, and promote entries into its memory tier so
+// a further rerun is a memory hit.
+func TestDiskTierServesSecondCache(t *testing.T) {
+	stubs()
+	dir := t.TempDir()
+	disk1, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := batch.NewTieredCache(64, 0, disk1)
+	countStub.calls.Store(0)
+	var jobs []batch.Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, batch.Job{Technique: "test-count", Spec: tinyLoop(fmt.Sprintf("d%d", i)), Machine: machine.New(2)})
+	}
+	first, err := batch.Run(context.Background(), jobs, batch.Options{Cache: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range first {
+		if o.Err != nil || o.Tier != batch.TierCompute {
+			t.Fatalf("cold job %d: err=%v tier=%v", i, o.Err, o.Tier)
+		}
+	}
+
+	disk2, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := batch.NewTieredCache(64, 0, disk2)
+	second, err := batch.Run(context.Background(), jobs, batch.Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range second {
+		if o.Err != nil {
+			t.Fatalf("warm job %d: %v", i, o.Err)
+		}
+		if o.Tier != batch.TierDisk || !o.CacheHit {
+			t.Errorf("warm job %d served by %v, want disk", i, o.Tier)
+		}
+		if o.Result.Metrics != first[i].Result.Metrics {
+			t.Errorf("warm job %d metrics drifted: %+v != %+v", i, o.Result.Metrics, first[i].Result.Metrics)
+		}
+	}
+	if got := countStub.calls.Load(); got != 4 {
+		t.Errorf("scheduler ran %d times; warm run must not compute", got)
+	}
+	third, err := batch.Run(context.Background(), jobs, batch.Options{Cache: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range third {
+		if o.Tier != batch.TierMemory {
+			t.Errorf("rerun job %d served by %v, want memory (disk hit not promoted)", i, o.Tier)
+		}
+	}
+	st := warm.Stats()
+	if st.DiskHits != 4 || st.MemoryHits != 4 || st.Misses != 0 {
+		t.Errorf("warm cache stats %+v, want 4 disk / 4 memory / 0 misses", st)
+	}
+	if st.Disk.Entries != 4 || st.Disk.Bytes <= 0 {
+		t.Errorf("disk footprint %+v, want 4 entries, >0 bytes", st.Disk)
+	}
+}
+
+// TestCorruptDiskEntryRecomputesWithoutPoisoning corrupts one on-disk
+// entry: the lookup must fall through to compute, serve correct
+// metrics, and leave both tiers healthy — the memory tier never learns
+// the corrupt value, and the disk slot is rewritten.
+func TestCorruptDiskEntryRecomputesWithoutPoisoning(t *testing.T) {
+	stubs()
+	dir := t.TempDir()
+	disk, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := batch.Job{Technique: "test-count", Spec: tinyLoop("corrupt"), Machine: machine.New(2)}
+	cold := batch.NewTieredCache(64, 0, disk)
+	first, err := batch.Run(context.Background(), []batch.Job{job}, batch.Options{Cache: cold})
+	if err != nil || first[0].Err != nil {
+		t.Fatalf("cold run: %v %v", err, first[0].Err)
+	}
+
+	// Smash every entry file.
+	var smashed int
+	filepath.Walk(dir, func(path string, info os.FileInfo, walkErr error) error {
+		if walkErr == nil && !info.IsDir() && strings.HasSuffix(path, ".json") {
+			if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			smashed++
+		}
+		return nil
+	})
+	if smashed == 0 {
+		t.Fatal("no disk entry written by the cold run")
+	}
+
+	before := countStub.calls.Load()
+	fresh := batch.NewTieredCache(64, 0, disk)
+	warm, err := batch.Run(context.Background(), []batch.Job{job}, batch.Options{Cache: fresh})
+	if err != nil || warm[0].Err != nil {
+		t.Fatalf("recompute run: %v %v", err, warm[0].Err)
+	}
+	if warm[0].Tier != batch.TierCompute {
+		t.Errorf("corrupt entry served from %v, want recompute", warm[0].Tier)
+	}
+	if warm[0].Result.Metrics != first[0].Result.Metrics {
+		t.Errorf("recomputed metrics drifted: %+v != %+v", warm[0].Result.Metrics, first[0].Result.Metrics)
+	}
+	if got := countStub.calls.Load(); got != before+1 {
+		t.Errorf("scheduler calls %d, want %d (exactly one recompute)", got, before+1)
+	}
+	// The rewrite healed the disk slot: a third cache now disk-hits.
+	again, err := batch.Run(context.Background(), []batch.Job{job},
+		batch.Options{Cache: batch.NewTieredCache(64, 0, disk)})
+	if err != nil || again[0].Err != nil {
+		t.Fatal(err, again[0].Err)
+	}
+	if again[0].Tier != batch.TierDisk {
+		t.Errorf("healed entry served from %v, want disk", again[0].Tier)
+	}
+	// The memory tier of the recomputing cache holds the good value.
+	if res, ok := fresh.Get(job.Key()); !ok || res.Metrics != first[0].Result.Metrics {
+		t.Error("memory tier poisoned or empty after corrupt-entry recompute")
+	}
+	if disk.Stats().Rejected == 0 {
+		t.Error("corrupt entry not counted as rejected")
+	}
+}
+
+// TestWantRawServedOnlyWithAttachment pins the raw-tier contract: a
+// metrics-only cache entry (memory or disk) cannot satisfy a WantRaw
+// job — the cell recomputes, attaches, and only then do raw requests
+// hit; and the raw tier stays within its cap while the metrics tier
+// retains every fingerprint.
+func TestWantRawServedOnlyWithAttachment(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := store.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := batch.NewTieredCache(64, 2, disk)
+	mk := func(name string, want sched.Want) batch.Job {
+		return batch.Job{Technique: "grip", Spec: tinyLoop(name), Machine: machine.New(2), Want: want}
+	}
+
+	// Metrics-only first: cached in both tiers, no raw anywhere.
+	outs, err := batch.Run(context.Background(), []batch.Job{mk("rawc", sched.WantMetrics)}, batch.Options{Cache: cache})
+	if err != nil || outs[0].Err != nil {
+		t.Fatal(err, outs[0].Err)
+	}
+	if outs[0].Result.Raw() != nil {
+		t.Fatal("metrics-only job carries a raw attachment")
+	}
+	metricsOnly := outs[0].Result.Metrics
+
+	// WantRaw on the same key: the metrics tiers must NOT serve it.
+	outs, err = batch.Run(context.Background(), []batch.Job{mk("rawc", sched.WantRaw)}, batch.Options{Cache: cache})
+	if err != nil || outs[0].Err != nil {
+		t.Fatal(err, outs[0].Err)
+	}
+	if outs[0].Tier != batch.TierCompute {
+		t.Errorf("WantRaw served from %v despite no resident attachment", outs[0].Tier)
+	}
+	if outs[0].Result.Raw() == nil {
+		t.Fatal("WantRaw compute returned no attachment")
+	}
+	if outs[0].Result.Metrics != metricsOnly {
+		t.Errorf("Want changed the metrics: %+v != %+v", outs[0].Result.Metrics, metricsOnly)
+	}
+
+	// Now resident: a second WantRaw is a memory hit with the SHARED
+	// attachment (the documented aliasing contract).
+	shared := outs[0].Result.Raw()
+	outs, err = batch.Run(context.Background(), []batch.Job{mk("rawc", sched.WantRaw)}, batch.Options{Cache: cache})
+	if err != nil || outs[0].Err != nil {
+		t.Fatal(err, outs[0].Err)
+	}
+	if outs[0].Tier != batch.TierMemory {
+		t.Errorf("resident raw served from %v, want memory", outs[0].Tier)
+	}
+	if outs[0].Result.Raw() != shared {
+		t.Error("raw tier handed out a different attachment than it stored")
+	}
+
+	// Fill past the raw cap: metrics retained for all, raws for <= cap.
+	var jobs []batch.Job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs, mk(fmt.Sprintf("rawfill%d", i), sched.WantRaw))
+	}
+	if _, err := batch.Run(context.Background(), jobs, batch.Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.RawLen(); got > 2 {
+		t.Errorf("raw tier holds %d attachments, cap is 2", got)
+	}
+	if got := cache.Len(); got != 5 {
+		t.Errorf("metrics tier holds %d entries, want all 5", got)
 	}
 }
 

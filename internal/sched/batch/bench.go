@@ -25,7 +25,11 @@ type BenchCell struct {
 	Converged bool    `json:"converged"`
 	WallMS    float64 `json:"wall_ms"`
 	CacheHit  bool    `json:"cache_hit"`
-	Error     string  `json:"error,omitempty"`
+	// Tier names the store tier that served a cache hit ("memory",
+	// "disk", "flight"); empty for computed cells and for reports
+	// written before the store was tiered.
+	Tier  string `json:"tier,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // BenchReport is the JSON document future PRs compare against.
@@ -49,6 +53,9 @@ func NewBenchReport(outcomes []Outcome, parallelism int, totalWall time.Duration
 			Technique: o.Job.Technique,
 			WallMS:    float64(o.Wall.Microseconds()) / 1000,
 			CacheHit:  o.CacheHit,
+		}
+		if o.CacheHit {
+			cell.Tier = o.Tier.String()
 		}
 		if o.Job.Config != (sched.Config{}) {
 			cell.Config = o.Job.Config.Fingerprint()

@@ -77,6 +77,22 @@ func (c Config) Fingerprint() string {
 	return c.Pipeline(machine.Machine{}).Knobs()
 }
 
+// Want hints what a request needs beyond the normalized metrics. It
+// is retention advice, not experiment identity: the scheduled result
+// is a pure function of (spec, machine, config) alone, so Want never
+// joins fingerprints or cache keys.
+type Want uint8
+
+const (
+	// WantMetrics (the zero value, the default) asks for the normalized
+	// metrics only; backends may skip retaining their raw graphs
+	// entirely, so nothing heavyweight outlives the computation.
+	WantMetrics Want = iota
+	// WantRaw additionally asks for the technique's native result as
+	// the raw attachment — validation and figure paths need it.
+	WantRaw
+)
+
 // Request is one first-class scheduling request: the (workload,
 // machine, configuration) triple that identifies an experiment. Specs
 // are treated as read-only and may be shared across requests.
@@ -86,47 +102,108 @@ type Request struct {
 	// Config overrides the technique's paper-default configuration;
 	// the zero value is the paper default.
 	Config Config
+	// Want hints whether the caller needs the raw attachment; it does
+	// not affect the metrics and is excluded from Fingerprint.
+	Want Want
 }
 
 // Fingerprint returns the canonical cache key of the request: loop,
 // machine, and configuration. Two requests with equal fingerprints
-// produce bit-identical results under any registered technique.
+// produce bit-identical results under any registered technique. Want
+// is deliberately excluded — it changes what is retained, never what
+// is computed.
 func (r Request) Fingerprint() string {
 	return r.Spec.Fingerprint() + "|" + r.Machine.Fingerprint() + "|" + r.Config.Fingerprint()
 }
 
-// Result is the normalized outcome every backend reports, carrying the
-// metrics Table 1 and the CLI compare across techniques.
-type Result struct {
+// MetricsVersion is the schema version of the serialized Metrics
+// layout. Bump it whenever a field is added, removed, or changes
+// meaning: persistent stores echo the version in every entry and treat
+// a mismatch as a miss, so stale on-disk entries are recomputed rather
+// than misread.
+const MetricsVersion = 1
+
+// Metrics is the normalized, serializable outcome every backend
+// reports: the numbers Table 1 and the CLI compare across techniques.
+// It is a plain comparable value — no pointers, no graphs — so caches
+// copy it freely and persistent stores serialize it as-is.
+type Metrics struct {
 	// Technique is the registry name of the backend that produced the
 	// result.
-	Technique string
+	Technique string `json:"technique"`
 	// Loop is the scheduled loop's name.
-	Loop string
+	Loop string `json:"loop"`
 	// CyclesPerIter is the steady-state cost of one source iteration.
-	CyclesPerIter float64
+	CyclesPerIter float64 `json:"cycles_per_iter"`
 	// Speedup is sequential ops per iteration divided by CyclesPerIter —
 	// the paper's Table 1 metric.
-	Speedup float64
+	Speedup float64 `json:"speedup"`
 	// Converged reports whether the technique reached its steady state
 	// (pattern convergence for the pipelining techniques; trivially true
 	// for single-iteration schedulers).
-	Converged bool
+	Converged bool `json:"converged"`
 	// KernelRows and KernelIterSpan describe the steady-state kernel:
 	// its row count and how many source iterations one period spans.
 	// Zero when no kernel formed.
-	KernelRows     int
-	KernelIterSpan int
+	KernelRows     int `json:"kernel_rows,omitempty"`
+	KernelIterSpan int `json:"kernel_iter_span,omitempty"`
 	// Rows is the full schedule length in instructions.
-	Rows int
+	Rows int `json:"rows,omitempty"`
 	// Barriers counts resource-barrier events during scheduling (GRiP's
 	// integrated-constraint cost metric; zero for other techniques).
-	Barriers int
-	// Raw is the technique's native result (*pipeline.Result,
-	// *modulo.Result, *listsched.Result) for consumers needing more than
-	// the normalized view. Treat it as read-only: results may be shared
-	// through caches.
-	Raw any
+	Barriers int `json:"barriers,omitempty"`
+}
+
+// Result is a backend's answer to one request: the normalized metrics,
+// plus an optional raw attachment — the technique's native result
+// (*pipeline.Result, *modulo.Result, *listsched.Result) — for the few
+// consumers (validation, figure rendering) that need more than the
+// normalized view. Backends attach the raw result only when the
+// request asked for it (Request.Want), so metrics-only runs never pin
+// megabyte scheduled graphs in caches.
+type Result struct {
+	Metrics
+	// raw is deliberately unexported: results are shared through caches,
+	// and the attachment aliases the backend's internal graphs. Access
+	// goes through Raw (shared, read-only) or CloneRaw (private copy).
+	raw any
+}
+
+// NewResult assembles a result from its two tiers. A nil raw means the
+// result carries metrics only.
+func NewResult(m Metrics, raw any) *Result {
+	return &Result{Metrics: m, raw: raw}
+}
+
+// Raw returns the technique's native result, or nil when the request
+// did not ask for one (WantMetrics) or the result came from a
+// metrics-only store tier. The attachment is SHARED: caches hand the
+// same pointer to every caller, so treat it as strictly read-only —
+// mutating consumers (simulation setup, validation) must use CloneRaw.
+func (r *Result) Raw() any { return r.raw }
+
+// RawCloner is implemented by raw attachments that support deep
+// copying; CloneRaw uses it to hand callers a private mutable copy.
+type RawCloner interface {
+	// CloneRaw returns a deep copy sharing no mutable state with the
+	// receiver.
+	CloneRaw() any
+}
+
+// CloneRaw returns a private deep copy of the raw attachment for
+// consumers that need to mutate it (simulation allocates array IDs on
+// the result's allocator, for example). It returns nil when there is
+// no attachment, and falls back to the shared pointer for attachment
+// types that do not implement RawCloner — those (modulo, listsched)
+// are plain value records with no interior mutability.
+func (r *Result) CloneRaw() any {
+	if r.raw == nil {
+		return nil
+	}
+	if c, ok := r.raw.(RawCloner); ok {
+		return c.CloneRaw()
+	}
+	return r.raw
 }
 
 // Scheduler is one scheduling technique: it maps a request (loop,

@@ -137,7 +137,8 @@ func TestBackendsMatchDirectCalls(t *testing.T) {
 	}
 }
 
-// TestResultRawTypes checks each backend exposes its native result.
+// TestResultRawTypes checks each backend attaches its native result
+// when (and only when) the request asks for it.
 func TestResultRawTypes(t *testing.T) {
 	spec := dotLoop()
 	m := machine.New(4)
@@ -147,13 +148,57 @@ func TestResultRawTypes(t *testing.T) {
 		"modulo": func(r any) bool { _, ok := r.(*modulo.Result); return ok },
 		"list":   func(r any) bool { _, ok := r.(*listsched.Result); return ok },
 	} {
-		res, err := sched.Schedule(context.Background(), name, req(spec, m))
+		r := req(spec, m)
+		r.Want = sched.WantRaw
+		res, err := sched.Schedule(context.Background(), name, r)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if !want(res.Raw) {
-			t.Errorf("%s: Raw has unexpected type %T", name, res.Raw)
+		if !want(res.Raw()) {
+			t.Errorf("%s: Raw has unexpected type %T", name, res.Raw())
 		}
+		// The default (WantMetrics) must not retain the raw graph.
+		lean, err := sched.Schedule(context.Background(), name, req(spec, m))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if lean.Raw() != nil {
+			t.Errorf("%s: WantMetrics request retained a raw attachment %T", name, lean.Raw())
+		}
+		if lean.Metrics != res.Metrics {
+			t.Errorf("%s: Want changed the metrics: %+v != %+v", name, lean.Metrics, res.Metrics)
+		}
+	}
+}
+
+// TestCloneRawAliasing pins the raw-attachment aliasing contract:
+// Raw() hands back the shared attachment, CloneRaw() a private deep
+// copy the caller may mutate.
+func TestCloneRawAliasing(t *testing.T) {
+	r := req(dotLoop(), machine.New(4))
+	r.Want = sched.WantRaw
+	res, err := sched.Schedule(context.Background(), "grip", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := res.Raw().(*pipeline.Result)
+	clone := res.CloneRaw().(*pipeline.Result)
+	if clone == shared {
+		t.Fatal("CloneRaw returned the shared attachment")
+	}
+	if res.Raw().(*pipeline.Result) != shared {
+		t.Error("Raw is not stable across calls")
+	}
+	if clone.Unwound == shared.Unwound || clone.Unwound.G == shared.Unwound.G {
+		t.Error("CloneRaw shares the unwound program/graph with the original")
+	}
+	if clone.Speedup != shared.Speedup || clone.Rows != shared.Rows {
+		t.Errorf("clone diverges from original: %+v vs %+v", clone.Speedup, shared.Speedup)
+	}
+	// Metrics-only results clone to nil, not panic.
+	lean := sched.NewResult(res.Metrics, nil)
+	if lean.CloneRaw() != nil {
+		t.Error("CloneRaw of a metrics-only result is non-nil")
 	}
 }
 
@@ -166,6 +211,7 @@ func TestConfigRespected(t *testing.T) {
 	m := machine.New(2)
 	r := req(spec, m)
 	r.Config = sched.Config{Unwind: 8}
+	r.Want = sched.WantRaw
 	got, err := sched.Schedule(ctx, "grip", r)
 	if err != nil {
 		t.Fatal(err)
@@ -180,8 +226,8 @@ func TestConfigRespected(t *testing.T) {
 		t.Errorf("configured adapter rows=%d speedup=%v != direct rows=%d speedup=%v",
 			got.Rows, got.Speedup, want.Rows, want.Speedup)
 	}
-	if got.Raw.(*pipeline.Result).U != 8 {
-		t.Errorf("unwind override ignored: U = %d, want 8", got.Raw.(*pipeline.Result).U)
+	if got.Raw().(*pipeline.Result).U != 8 {
+		t.Errorf("unwind override ignored: U = %d, want 8", got.Raw().(*pipeline.Result).U)
 	}
 }
 
@@ -226,6 +272,15 @@ func TestConfigFingerprint(t *testing.T) {
 	r2.Config.Unwind = 24
 	if r2.Fingerprint() == fp {
 		t.Error("request fingerprint ignores the config")
+	}
+
+	// Want is retention advice, not experiment identity: it must not
+	// perturb the fingerprint, or WantRaw validation runs would occupy
+	// separate cache entries from the table cells they certify.
+	r3 := r
+	r3.Want = sched.WantRaw
+	if r3.Fingerprint() != fp {
+		t.Error("Want leaked into the request fingerprint")
 	}
 }
 

@@ -1,0 +1,163 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/sched"
+)
+
+// diskEntry is the on-disk format: the schema version and the full
+// fingerprint are echoed in every entry so Get can prove an entry is
+// the one it asked for. The fingerprint echo matters because file
+// names are content-addressed hashes of the key — a hash collision or
+// a file written by a different (buggy, future, truncated) writer must
+// read as a miss, never as someone else's metrics.
+type diskEntry struct {
+	Schema  int           `json:"schema"`
+	Key     string        `json:"key"`
+	Metrics sched.Metrics `json:"metrics"`
+}
+
+// Disk is the persistent metrics tier: one JSON file per fingerprint
+// under a content-addressed directory (dir/ab/<sha256(key)>.json).
+// Writes are atomic — encode to a temp file in the target directory,
+// then rename — so concurrent stores sharing one directory (separate
+// processes, or two Disk values in tests) never observe partial
+// entries. Get never trusts an entry it cannot verify: read errors,
+// malformed JSON, schema-version drift, and fingerprint mismatches all
+// report a miss (counted in Stats.Rejected) and the caller recomputes.
+//
+// Disk stores metrics only. Raw scheduled graphs are deliberately not
+// persisted: they are megabytes each, pointer-rich, and only
+// validation paths want them — the in-memory raw tier covers those.
+type Disk struct {
+	dir string
+
+	hits, misses, rejected, writeErrs atomic.Uint64
+}
+
+// OpenDisk opens (creating if needed) the on-disk store rooted at dir.
+func OpenDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open disk tier: %w", err)
+	}
+	return &Disk{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// path maps a fingerprint to its content-addressed file. Keys are long
+// and contain separator characters, so the file name is the hex SHA-256
+// of the key, sharded by its first byte to keep directories small.
+func (d *Disk) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	name := hex.EncodeToString(sum[:])
+	return filepath.Join(d.dir, name[:2], name+".json")
+}
+
+// Get reads and verifies the entry under key. Any entry that cannot be
+// read, parsed, or proven to belong to (key, current schema) is a miss.
+func (d *Disk) Get(key string) (sched.Metrics, bool) {
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		// Includes not-exist; anything else (permission, IO) is equally
+		// a miss — the compute path is always available.
+		d.misses.Add(1)
+		return sched.Metrics{}, false
+	}
+	var e diskEntry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Schema != sched.MetricsVersion || e.Key != key {
+		d.rejected.Add(1)
+		d.misses.Add(1)
+		return sched.Metrics{}, false
+	}
+	d.hits.Add(1)
+	return e.Metrics, true
+}
+
+// Put persists metrics under key with an atomic rename. Failures are
+// recorded, not returned: the disk tier is an accelerator, and a
+// missing entry merely costs a recompute next process.
+func (d *Disk) Put(key string, m sched.Metrics) {
+	if err := d.put(key, m); err != nil {
+		d.writeErrs.Add(1)
+	}
+}
+
+func (d *Disk) put(key string, m sched.Metrics) error {
+	path := d.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(diskEntry{
+		Schema:  sched.MetricsVersion,
+		Key:     key,
+		Metrics: m,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	// Temp file in the destination directory so the rename never
+	// crosses a filesystem boundary (rename atomicity).
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Clear wipes every entry, leaving an empty store rooted at the same
+// directory.
+func (d *Disk) Clear() error {
+	if err := os.RemoveAll(d.dir); err != nil {
+		return err
+	}
+	return os.MkdirAll(d.dir, 0o755)
+}
+
+// Stats reports the counters plus the store's current footprint
+// (entry files and their total bytes), computed by walking the
+// directory — cheap at the scales a metrics tier reaches, and always
+// true to what is actually on disk.
+func (d *Disk) Stats() Stats {
+	st := Stats{
+		Hits:        d.hits.Load(),
+		Misses:      d.misses.Load(),
+		Rejected:    d.rejected.Load(),
+		WriteErrors: d.writeErrs.Load(),
+	}
+	filepath.WalkDir(d.dir, func(path string, ent fs.DirEntry, err error) error {
+		if err != nil || ent.IsDir() || !strings.HasSuffix(ent.Name(), ".json") {
+			return nil
+		}
+		if info, err := ent.Info(); err == nil {
+			st.Entries++
+			st.Bytes += info.Size()
+		}
+		return nil
+	})
+	return st
+}
