@@ -1,0 +1,118 @@
+package bitset
+
+import "math/bits"
+
+// Tree is a hierarchical bit set over [0, n) built for ordered
+// iteration: Add and Remove touch at most one word per level, and
+// NextAtLeast finds the smallest member >= i in O(levels) word
+// operations, where levels = ceil(log64 n). It is the selector behind
+// core's incremental Moveable-ops candidate structure: members are rank
+// positions, and a pick is NextAtLeast(0) instead of a linear rescan.
+//
+// Level 0 holds the member bits; each higher level summarizes the level
+// below with one bit per word ("this word is non-empty"), so a search
+// that exhausts a word climbs to the summary, finds the next non-empty
+// word, and descends back down. All methods are allocation-free.
+type Tree struct {
+	n      int
+	levels [][]uint64
+}
+
+// NewTree returns an empty tree able to hold members 0..n-1.
+func NewTree(n int) Tree {
+	if n < 0 {
+		n = 0
+	}
+	t := Tree{n: n}
+	words := (n + 63) / 64
+	for {
+		if words == 0 {
+			words = 1
+		}
+		t.levels = append(t.levels, make([]uint64, words))
+		if words == 1 {
+			return t
+		}
+		words = (words + 63) / 64
+	}
+}
+
+// Cap returns the size of the member space the tree was built for.
+func (t *Tree) Cap() int { return t.n }
+
+// Has reports whether i is a member. Out-of-range i is never a member.
+func (t *Tree) Has(i int) bool {
+	if uint(i) >= uint(t.n) {
+		return false
+	}
+	return t.levels[0][i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Add inserts i; inserting a present member is a no-op. Out-of-range i
+// panics (callers own the index space).
+func (t *Tree) Add(i int) {
+	if uint(i) >= uint(t.n) {
+		panic("bitset: Tree.Add out of range")
+	}
+	for l := 0; l < len(t.levels); l++ {
+		w := i >> 6
+		mask := uint64(1) << (uint(i) & 63)
+		if t.levels[l][w]&mask != 0 {
+			return // already set, so every summary above is set too
+		}
+		t.levels[l][w] |= mask
+		i = w
+	}
+}
+
+// Remove deletes i if present, clearing summary bits for words that
+// become empty.
+func (t *Tree) Remove(i int) {
+	if uint(i) >= uint(t.n) {
+		return
+	}
+	for l := 0; l < len(t.levels); l++ {
+		w := i >> 6
+		t.levels[l][w] &^= 1 << (uint(i) & 63)
+		if t.levels[l][w] != 0 {
+			return // word still populated: summaries stay set
+		}
+		i = w
+	}
+}
+
+// First returns the smallest member, or -1 when the tree is empty.
+func (t *Tree) First() int { return t.NextAtLeast(0) }
+
+// Empty reports whether the tree has no members.
+func (t *Tree) Empty() bool {
+	top := t.levels[len(t.levels)-1]
+	return top[0] == 0
+}
+
+// NextAtLeast returns the smallest member >= i, or -1 when there is
+// none. Negative i is treated as 0.
+func (t *Tree) NextAtLeast(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	pos := i
+	for l := 0; l < len(t.levels); {
+		w := pos >> 6
+		if w < len(t.levels[l]) {
+			if word := t.levels[l][w] &^ (1<<(uint(pos)&63) - 1); word != 0 {
+				pos = w<<6 | bits.TrailingZeros64(word)
+				// Descend: pos indexes a non-empty word per level below.
+				for ; l > 0; l-- {
+					pos = pos<<6 | bits.TrailingZeros64(t.levels[l-1][pos])
+				}
+				return pos
+			}
+		}
+		// Word exhausted: the next candidate is the following word,
+		// which is bit w+1 of the summary level above.
+		pos = w + 1
+		l++
+	}
+	return -1
+}

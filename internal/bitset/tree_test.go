@@ -1,0 +1,106 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestTreeAgainstReference drives random Add/Remove/NextAtLeast
+// sequences against a plain boolean-slice model across sizes that cover
+// one, two, and three summary levels (including the exact 64-boundary
+// capacities).
+func TestTreeAgainstReference(t *testing.T) {
+	sizes := []int{1, 7, 63, 64, 65, 1000, 4096, 4097, 70000}
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range sizes {
+		tree := NewTree(n)
+		ref := make([]bool, n)
+		next := func(i int) int {
+			if i < 0 {
+				i = 0
+			}
+			for ; i < n; i++ {
+				if ref[i] {
+					return i
+				}
+			}
+			return -1
+		}
+		for step := 0; step < 4000; step++ {
+			i := rng.Intn(n)
+			switch rng.Intn(4) {
+			case 0, 1:
+				tree.Add(i)
+				ref[i] = true
+			case 2:
+				tree.Remove(i)
+				ref[i] = false
+			case 3:
+				if got, want := tree.NextAtLeast(i), next(i); got != want {
+					t.Fatalf("n=%d step=%d: NextAtLeast(%d)=%d, want %d", n, step, i, got, want)
+				}
+			}
+			if got, want := tree.Has(i), ref[i]; got != want {
+				t.Fatalf("n=%d step=%d: Has(%d)=%v, want %v", n, step, i, got, want)
+			}
+		}
+		if got, want := tree.First(), next(0); got != want {
+			t.Fatalf("n=%d: First()=%d, want %d", n, got, want)
+		}
+		any := next(0) >= 0
+		if tree.Empty() == any {
+			t.Fatalf("n=%d: Empty()=%v with members=%v", n, tree.Empty(), any)
+		}
+	}
+}
+
+func TestTreeEdges(t *testing.T) {
+	tr := NewTree(130)
+	if tr.First() != -1 || !tr.Empty() {
+		t.Fatal("fresh tree not empty")
+	}
+	tr.Add(129)
+	if tr.First() != 129 || tr.NextAtLeast(129) != 129 || tr.NextAtLeast(130) != -1 {
+		t.Fatal("single high member not found")
+	}
+	tr.Add(129) // idempotent
+	tr.Remove(129)
+	if !tr.Empty() || tr.NextAtLeast(0) != -1 {
+		t.Fatal("remove did not empty the tree")
+	}
+	tr.Remove(129)  // idempotent
+	tr.Remove(-1)   // out of range: no-op
+	tr.Remove(1000) // out of range: no-op
+	if tr.Has(-1) || tr.Has(1000) {
+		t.Fatal("out-of-range membership")
+	}
+	if tr.NextAtLeast(-5) != -1 {
+		t.Fatal("negative NextAtLeast on empty tree")
+	}
+	if tr.Cap() != 130 {
+		t.Fatalf("Cap()=%d, want 130", tr.Cap())
+	}
+	zero := NewTree(0)
+	if zero.First() != -1 || !zero.Empty() || zero.Has(0) {
+		t.Fatal("zero-capacity tree misbehaves")
+	}
+}
+
+// TestTreeOpAllocs pins the selector contract the chooseOp pick path
+// depends on: steady-state Add/Remove/NextAtLeast perform zero heap
+// allocations.
+func TestTreeOpAllocs(t *testing.T) {
+	tr := NewTree(70000)
+	for i := 0; i < 70000; i += 97 {
+		tr.Add(i)
+	}
+	var sink int
+	allocs := testing.AllocsPerRun(500, func() {
+		tr.Remove(97 * 13)
+		tr.Add(97 * 13)
+		sink = tr.NextAtLeast(97*13 + 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("tree ops allocate %v/run, want 0 (sink %d)", allocs, sink)
+	}
+}

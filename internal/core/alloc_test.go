@@ -36,12 +36,12 @@ func TestMigrationStepAllocs(t *testing.T) {
 
 	home := n2.Root
 	step := func() {
-		s.gen++
+		s.bumpGen()
 		op := s.chooseOp(n1, true, true)
 		if op != mover {
 			t.Fatalf("chooseOp picked %v, want the mover", op)
 		}
-		s.tried[op.Index] = s.gen
+		s.markTried(op)
 		s.migrate(n1, op)
 		if g.NodeOf(mover) != n1 {
 			t.Fatal("mover did not arrive")
@@ -122,22 +122,25 @@ func TestGraphAccessorAllocs(t *testing.T) {
 	}
 }
 
-// TestChooseOpScanAllocs: the full Moveable-ops scan over a ranked list
-// with suspension and tried state in play is allocation-free.
+// TestChooseOpScanAllocs: the candidate-structure pick with suspension
+// and tried state in play is allocation-free — including the
+// maintenance a pick performs (markTried removal, generation-bump
+// restore, suspension bookkeeping).
 func TestChooseOpScanAllocs(t *testing.T) {
 	pctx, ops, pri := buildStraightLine(64, 2)
 	s := newScheduler(context.Background(), pctx, ops, pri, Options{MaxSteps: DefaultMaxSteps})
 	entry := pctx.G.Entry
-	s.gen++
-	s.suspended.Add(ops[40].Index)
-	s.suspList = append(s.suspList, ops[40])
-	s.unmoveable.Add(ops[50].Index)
+	s.bumpGen()
+	s.suspendOp(ops[40])
+	s.markUnmoveable(ops[50])
 	var sink *ir.Op
 	allocs := testing.AllocsPerRun(500, func() {
 		sink = s.chooseOp(entry, true, true)
+		s.markTried(sink)
+		s.bumpGen()
 	})
 	if allocs != 0 {
-		t.Fatalf("chooseOp allocates %v bytes/run, want 0", allocs)
+		t.Fatalf("chooseOp pick path allocates %v bytes/run, want 0", allocs)
 	}
 	if sink == nil {
 		t.Fatal("chooseOp found nothing")

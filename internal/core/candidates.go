@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// The incremental Moveable-ops candidate structure.
+//
+// Ranks are assigned once by deps.Priority and never change, so the
+// structure is two hierarchical bitsets (bitset.Tree) over rank space —
+// one for plain operations, one for branches, so the opRoom/brRoom
+// gates of Figure 10 select a sub-structure instead of filtering every
+// candidate. An op's rank is a member of its class selector exactly
+// when every per-op eligibility flag holds:
+//
+//	in selector  ⟺  !pruned && !suspended && tried != gen
+//
+// with one lazy exception: an op whose home is nil or a drain node is
+// dropped from the selector when the pick path encounters it, and the
+// graph's op-home hook (Graph.SetOpHomeHook) re-adds it the moment any
+// mutation changes its home — so the invariant weakens to "eligible and
+// placed in a live node ⟹ in selector", which is what the pick needs.
+//
+// Every eligibility transition updates the selectors at the event site
+// in O(log64 n):
+//
+//   - pick: markTried removes the op and records it for restore;
+//   - retry-generation bump: bumpGen re-adds everything tried in the
+//     closing generation (each pick adds at most one entry, so the
+//     restore is O(1) amortized per pick);
+//   - suspension (rule 1): suspendOp removes the op and folds its home
+//     position into the incrementally maintained rule-3 bound;
+//   - unsuspension (rule 2 / node advance): clearSuspensions re-adds;
+//   - unmoveable marks and frontier crossings are monotone (an op at or
+//     above the scheduling frontier can never become eligible again, see
+//     chooseOp), so they remove the op and set its pruned bit, which
+//     keeps every later restore path from resurrecting it.
+//
+// Positional gates (the frontier limit and rule 3) are deliberately NOT
+// part of the structure: node positions of live candidates only ever
+// decrease (ops move up; move-cj gives the continue-side node the
+// dissolved node's position), so they are checked against the op's
+// current home at pick time, where a failed frontier check prunes
+// permanently. The pick itself is then a NextAtLeast walk that in the
+// common case inspects exactly one candidate. Soundness arguments in
+// DESIGN.md §6.
+
+// initCandidates sizes and fills the selectors from the freshly ranked
+// pool: every pool op starts eligible.
+func (s *scheduler) initCandidates(idxSpace int) {
+	s.rankOf = make([]int32, idxSpace)
+	for i := range s.rankOf {
+		s.rankOf[i] = -1
+	}
+	s.opSel = bitset.NewTree(len(s.pool))
+	s.brSel = bitset.NewTree(len(s.pool))
+	s.pruned = bitset.New(idxSpace)
+	s.triedGen = make([]*ir.Op, 0, len(s.pool))
+	for r, op := range s.pool {
+		s.rankOf[op.Index] = int32(r)
+		if op.IsBranch() {
+			s.brSel.Add(r)
+		} else {
+			s.opSel.Add(r)
+		}
+	}
+}
+
+// chooseOp returns the highest-priority op still eligible to move toward
+// n: below n, not unmoveable, not suspended, below the lowest suspended
+// op (rule 3), and not already tried since the graph last changed. It
+// replaces the per-pick rescan of the whole ranked list: candidates come
+// off the class selectors in rank order, so the scan only ever touches
+// ops whose eligibility flags all hold, and in the steady state returns
+// the very first one. Allocation-free.
+func (s *scheduler) chooseOp(n *graph.Node, opRoom, brRoom bool) *ir.Op {
+	g := s.ctx.G
+	limit := n.Pos()
+	haveSusp := len(s.suspList) > 0
+	lowestSusp := s.maxSuspPos
+	rOp, rBr := -1, -1
+	if opRoom {
+		rOp = s.opSel.NextAtLeast(s.ruleCurOp)
+	}
+	if brRoom {
+		rBr = s.brSel.NextAtLeast(s.ruleCurBr)
+	}
+	for rOp >= 0 || rBr >= 0 {
+		r, sel := rOp, &s.opSel
+		if rOp < 0 || (rBr >= 0 && rBr < rOp) {
+			r, sel = rBr, &s.brSel
+		}
+		op := s.pool[r]
+		home := g.NodeOf(op)
+		switch {
+		case home == nil || home.Drain:
+			// Not currently pickable and no flag transition will say
+			// when it becomes so; drop it — the graph's op-home hook
+			// restores it on the next placement change.
+			sel.Remove(r)
+		case home.Pos() <= limit:
+			// Prune: at or above the scheduling frontier. Operations
+			// only ever move up while the frontier only moves down, so
+			// this op can never become eligible again.
+			sel.Remove(r)
+			s.pruned.Add(op.Index)
+		case haveSusp && home.Pos() <= lowestSusp:
+			// Rule 3: only ops below the lowest suspended op move.
+			// Positional and temporary — the op stays eligible, but
+			// within this suspension epoch it can never re-qualify, so
+			// later picks resume past it (see ruleCurOp/ruleCurBr).
+			if sel == &s.opSel {
+				s.ruleCurOp = r + 1
+			} else {
+				s.ruleCurBr = r + 1
+			}
+		default:
+			return op
+		}
+		if sel == &s.opSel {
+			rOp = s.opSel.NextAtLeast(r + 1)
+		} else {
+			rBr = s.brSel.NextAtLeast(r + 1)
+		}
+	}
+	return nil
+}
+
+// maybeAdd restores op's selector membership when every eligibility
+// flag holds. Safe to call unconditionally: ops outside the candidate
+// pool (frozen drain clones, renaming compensations, ops of a different
+// allocator) are identity-checked out, and bitset adds are idempotent.
+func (s *scheduler) maybeAdd(op *ir.Op) {
+	idx := op.Index
+	if idx < 0 || idx >= len(s.rankOf) {
+		return
+	}
+	r := s.rankOf[idx]
+	if r < 0 || s.pool[r] != op {
+		return
+	}
+	if s.pruned.Has(idx) || s.suspended.Has(idx) || s.tried[idx] == s.gen {
+		return
+	}
+	if op.IsBranch() {
+		s.brSel.Add(int(r))
+	} else {
+		s.opSel.Add(int(r))
+	}
+}
+
+// selRemove drops op from its class selector (no-op when absent).
+func (s *scheduler) selRemove(op *ir.Op) {
+	idx := op.Index
+	if idx < 0 || idx >= len(s.rankOf) {
+		return
+	}
+	r := s.rankOf[idx]
+	if r < 0 || s.pool[r] != op {
+		return
+	}
+	if op.IsBranch() {
+		s.brSel.Remove(int(r))
+	} else {
+		s.opSel.Remove(int(r))
+	}
+}
+
+// markTried records that op was handed to migrate in the current retry
+// generation: it leaves the selectors now and returns on the next
+// generation bump.
+func (s *scheduler) markTried(op *ir.Op) {
+	s.tried[op.Index] = s.gen
+	s.selRemove(op)
+	s.triedGen = append(s.triedGen, op)
+}
+
+// bumpGen starts a new retry generation, which invalidates every tried
+// mark at once: the ops tried in the closing generation rejoin the
+// selectors (unless some other flag keeps them out).
+func (s *scheduler) bumpGen() {
+	s.gen++
+	for _, op := range s.triedGen {
+		s.maybeAdd(op)
+	}
+	s.triedGen = s.triedGen[:0]
+	s.ruleCurOp, s.ruleCurBr = 0, 0
+}
+
+// suspendOp applies rule 1 to op: it leaves the candidate set until the
+// next unsuspension, and its home position folds into the incrementally
+// maintained rule-3 bound. Maintaining the max here is exact because the
+// graph cannot change while suspensions exist: every successful move
+// immediately wakes all suspended ops (rule 2, see migrate), so between
+// a suspension and the next unsuspension no committed mutation can move
+// a suspended op's home.
+func (s *scheduler) suspendOp(op *ir.Op) {
+	s.suspended.Add(op.Index)
+	s.suspList = append(s.suspList, op)
+	s.selRemove(op) // already out via markTried when reached from migrate
+	s.stats.Suspensions++
+	if home := s.ctx.G.NodeOf(op); home != nil {
+		if p := home.Pos(); len(s.suspList) == 1 || p > s.maxSuspPos {
+			s.maxSuspPos = p
+		}
+	}
+	if len(s.suspList) == 1 {
+		// A fresh suspension epoch: the resume cursors are already 0
+		// (every epoch end bumps the generation), but make the epoch
+		// boundary explicit rather than rely on it.
+		s.ruleCurOp, s.ruleCurBr = 0, 0
+	}
+}
+
+// markUnmoveable takes op out of the candidate set permanently: the
+// pruned bit keeps every restore path (generation bumps, unsuspension,
+// op-home events) from resurrecting it.
+func (s *scheduler) markUnmoveable(op *ir.Op) {
+	s.unmoveable.Add(op.Index)
+	s.pruned.Add(op.Index)
+	s.selRemove(op)
+}
+
+// checkCandidates cross-checks the selector invariants against a full
+// recomputation (the candidate-structure analogue of graph.Validate's
+// cached-count recounts): membership implies every eligibility flag,
+// and an eligible op placed in a live node must be a member. Test and
+// CrossCheck use only.
+func (s *scheduler) checkCandidates() error {
+	g := s.ctx.G
+	for r, op := range s.pool {
+		idx := op.Index
+		inSel := s.opSel.Has(r)
+		class := "op"
+		if op.IsBranch() {
+			inSel = s.brSel.Has(r)
+			class = "branch"
+		}
+		if s.opSel.Has(r) && s.brSel.Has(r) {
+			return fmt.Errorf("core: rank %d (%s) in both selectors", r, class)
+		}
+		eligible := !s.pruned.Has(idx) && !s.suspended.Has(idx) && s.tried[idx] != s.gen
+		if inSel && !eligible {
+			return fmt.Errorf("core: rank %d (%s %v) in %s selector but ineligible (pruned=%v suspended=%v tried=%v)",
+				r, class, op, class, s.pruned.Has(idx), s.suspended.Has(idx), s.tried[idx] == s.gen)
+		}
+		home := g.NodeOf(op)
+		if eligible && home != nil && !home.Drain && !inSel {
+			return fmt.Errorf("core: rank %d (%s %v) eligible and placed at n%d but missing from %s selector",
+				r, class, op, home.ID, class)
+		}
+		if s.unmoveable.Has(idx) && !s.pruned.Has(idx) {
+			return fmt.Errorf("core: rank %d (%s %v) unmoveable but not pruned", r, class, op)
+		}
+	}
+	return nil
+}

@@ -51,6 +51,14 @@ type Options struct {
 	// together with the current Moveable-ops set in ranked order (used
 	// to print Figure 11-style traces).
 	TraceNode func(n *graph.Node, moveable []*ir.Op)
+
+	// CrossCheck runs the retained reference implementation of the
+	// Moveable-ops scan (a full rescan of the ranked list) next to the
+	// incremental candidate structure and fails the schedule on the
+	// first divergence — picks, the rule-3 suspension bound, and the
+	// structure's internal invariants are all compared per pick. A
+	// testing hook: it turns every pick into an O(n) recheck.
+	CrossCheck bool
 }
 
 // DefaultMaxSteps bounds transformation work for typical loop sizes.
@@ -81,8 +89,43 @@ type scheduler struct {
 	pri   *deps.Priority
 	opts  Options
 
-	ranked     []*ir.Op   // all schedulable ops, highest priority first
-	byIter     [][]*ir.Op // ops per iteration, at index op.Iter+1 (NoIter first)
+	pool   []*ir.Op   // all schedulable ops, highest priority first; static after newScheduler
+	byIter [][]*ir.Op // ops per iteration, at index op.Iter+1 (NoIter first)
+
+	// The incremental candidate structure (see candidates.go): class
+	// selectors over rank space plus the per-op flags that gate
+	// membership, maintained at every eligibility transition so a pick
+	// is a selector lookup instead of a rescan of pool.
+	rankOf   []int32     // op index -> rank in pool, -1 when absent
+	opSel    bitset.Tree // eligible non-branch candidates, by rank
+	brSel    bitset.Tree // eligible branch candidates, by rank
+	pruned   bitset.Set  // permanently ineligible: unmoveable or at/above the frontier
+	triedGen []*ir.Op    // ops tried in the current generation, restored on bumpGen
+
+	// maxSuspPos is the rule-3 bound — the largest home position over
+	// the suspended ops — maintained on suspension and reset on
+	// unsuspension instead of rescanned per pick (valid while suspList
+	// is non-empty; see suspendOp for why this is exact).
+	maxSuspPos float64
+
+	// ruleCurOp/ruleCurBr resume the pick scan past candidates already
+	// skipped by rule 3 in the current suspension epoch. Sound because
+	// while suspensions exist nothing can re-qualify a skipped
+	// candidate: the graph cannot mutate (rule 2 clears all suspensions
+	// on the first successful move, so positions are frozen), the
+	// generation cannot advance, the frontier is fixed, and the rule-3
+	// bound only grows. Reset whenever the generation bumps.
+	ruleCurOp int
+	ruleCurBr int
+
+	// refRanked, under Options.CrossCheck, is the retained reference
+	// scan's own compacting copy of the ranked list (chooseOpReference).
+	refRanked []*ir.Op
+
+	// prevHook is the graph's op-home hook displaced by this run's
+	// candidate maintenance, restored when Schedule returns.
+	prevHook func(*ir.Op)
+
 	unmoveable bitset.Set
 	suspended  bitset.Set
 	suspList   []*ir.Op // the suspended ops, in suspension order
@@ -98,9 +141,10 @@ type scheduler struct {
 	// gen is the retry generation: it advances on events that can
 	// unblock previously tried operations (an arrival at the scheduled
 	// node, a rule-2 unsuspension, a move out of a full node, any
-	// branch move). chooseOp skips operations already tried in the
-	// current generation, which keeps the Figure 10 while-loop from
-	// re-probing the whole Moveable set after every unrelated move.
+	// branch move). A tried op leaves the candidate selectors until the
+	// generation advances (bumpGen restores it), which keeps the Figure
+	// 10 while-loop from re-probing the whole Moveable set after every
+	// unrelated move.
 	gen int
 
 	// Gapless-move machinery (section 3.3), all stamped by the graph
@@ -128,6 +172,10 @@ func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priorit
 		opts.MaxSteps = DefaultMaxSteps
 	}
 	s := newScheduler(ctx, pctx, ops, pri, opts)
+	// newScheduler registered the candidate structure's op-home hook on
+	// the graph; restore the previous one on return (graphs outlive a
+	// scheduling run).
+	defer pctx.G.SetOpHomeHook(s.prevHook)
 
 	for i := 0; i < opts.EmptyPrelude; i++ {
 		pctx.G.InsertBefore(pctx.G.Entry)
@@ -179,24 +227,32 @@ func newScheduler(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Pri
 		tried:      make([]int, n),
 		suspList:   make([]*ir.Op, 0, n),
 	}
-	s.ranked = make([]*ir.Op, 0, len(ops))
+	s.pool = make([]*ir.Op, 0, len(ops))
 	maxIter := ir.NoIter
 	for _, op := range ops {
 		if !op.Frozen {
-			s.ranked = append(s.ranked, op)
+			s.pool = append(s.pool, op)
 			if op.Iter > maxIter {
 				maxIter = op.Iter
 			}
 		}
 	}
 	s.byIter = make([][]*ir.Op, maxIter+2)
-	for _, op := range s.ranked {
+	for _, op := range s.pool {
 		s.byIter[op.Iter+1] = append(s.byIter[op.Iter+1], op)
 	}
 	s.frontiers = make([]iterFrontier, maxIter+2)
 	s.gapMemo = make([]memoEntry, n)
 	s.fillMemo = make(map[uint64]memoEntry, 64)
-	pri.Rank(s.ranked)
+	pri.Rank(s.pool)
+	s.initCandidates(n)
+	if opts.CrossCheck {
+		s.refRanked = append([]*ir.Op(nil), s.pool...)
+	}
+	// The structure hears about every op whose home changes — re-homing
+	// via branch-move node splits, transient unplacement during moves,
+	// renaming compensations — through the graph's op-home hook.
+	s.prevHook = pctx.G.SetOpHomeHook(s.maybeAdd)
 	return s
 }
 
@@ -241,7 +297,7 @@ func ensureIndices(ops []*ir.Op) int {
 func (s *scheduler) scheduleNode(n *graph.Node) error {
 	// A fresh generation invalidates every tried mark from the previous
 	// node at once (the map-based version allocated a new map here).
-	s.gen++
+	s.bumpGen()
 	if s.opts.TraceNode != nil {
 		s.opts.TraceNode(n, s.MoveableSet(n))
 	}
@@ -262,31 +318,31 @@ func (s *scheduler) scheduleNode(n *graph.Node) error {
 			return nil
 		}
 		op := s.chooseOp(n, opRoom, brRoom)
+		if s.refRanked != nil {
+			if err := s.crossCheckPick(n, opRoom, brRoom, op); err != nil {
+				return err
+			}
+		}
 		if op == nil {
 			return nil
 		}
-		s.tried[op.Index] = s.gen
+		s.markTried(op)
 		s.migrate(n, op)
 	}
 }
 
-// chooseOp returns the highest-priority op still eligible to move toward
-// n: below n, not unmoveable, not suspended, below the lowest suspended
-// op (rule 3), and not already tried since the graph last changed
-// (ranked holds no frozen ops). Every per-candidate check is an O(1)
-// load and the scan allocates nothing.
-//
-// The scan also compacts ranked in place: unmoveable marks are monotone
-// and operations only ever move up while the scheduling frontier only
-// moves down, so an op that is unmoveable or at/above the frontier can
-// never become eligible again and is dropped. Which op is returned is
-// unaffected — only permanently-dead entries leave the list — but later
-// scans stop paying for the already-scheduled region.
-func (s *scheduler) chooseOp(n *graph.Node, opRoom, brRoom bool) *ir.Op {
+// chooseOpReference is the retained reference implementation of the
+// Moveable-ops pick: a full rescan of the ranked list with every gate
+// checked per candidate, compacting permanently-dead entries in place
+// exactly as the pre-candidate-structure scheduler did. It runs only
+// under Options.CrossCheck (against its own refRanked copy) so the
+// randomized equivalence tests can assert the incremental structure
+// returns the identical pick sequence.
+func (s *scheduler) chooseOpReference(n *graph.Node, opRoom, brRoom bool) *ir.Op {
 	g := s.ctx.G
 	limit := n.Pos()
-	lowestSusp, haveSusp := s.lowestSuspendedPos()
-	ranked := s.ranked
+	lowestSusp, haveSusp := s.lowestSuspendedPosRescan()
+	ranked := s.refRanked
 	w := 0
 	for r := 0; r < len(ranked); r++ {
 		op := ranked[r]
@@ -322,14 +378,16 @@ func (s *scheduler) chooseOp(n *graph.Node, opRoom, brRoom bool) *ir.Op {
 			continue // rule 3: only ops below the lowest suspended op move
 		}
 		w += copy(ranked[w:], ranked[r+1:])
-		s.ranked = ranked[:w]
+		s.refRanked = ranked[:w]
 		return op
 	}
-	s.ranked = ranked[:w]
+	s.refRanked = ranked[:w]
 	return nil
 }
 
-func (s *scheduler) lowestSuspendedPos() (float64, bool) {
+// lowestSuspendedPosRescan recomputes the rule-3 bound from scratch —
+// the reference for the incrementally maintained maxSuspPos.
+func (s *scheduler) lowestSuspendedPosRescan() (float64, bool) {
 	if len(s.suspList) == 0 {
 		return 0, false
 	}
@@ -347,12 +405,33 @@ func (s *scheduler) lowestSuspendedPos() (float64, bool) {
 	return low, have
 }
 
+// crossCheckPick asserts, under Options.CrossCheck, that the candidate
+// structure and the reference scan agree on the pick, that the
+// incremental rule-3 bound matches a rescan, and that the structure's
+// invariants hold.
+func (s *scheduler) crossCheckPick(n *graph.Node, opRoom, brRoom bool, got *ir.Op) error {
+	want := s.chooseOpReference(n, opRoom, brRoom)
+	if got != want {
+		return fmt.Errorf("core: candidate structure diverged at n%d (opRoom=%v brRoom=%v): picked %v, reference %v",
+			n.ID, opRoom, brRoom, got, want)
+	}
+	if len(s.suspList) > 0 {
+		low, have := s.lowestSuspendedPosRescan()
+		if !have || low != s.maxSuspPos {
+			return fmt.Errorf("core: incremental rule-3 bound %v, rescan %v (have=%v)", s.maxSuspPos, low, have)
+		}
+	}
+	return s.checkCandidates()
+}
+
 func (s *scheduler) clearSuspensions() {
 	for _, op := range s.suspList {
 		s.suspended.Remove(op.Index)
+		s.maybeAdd(op)
 	}
 	s.suspList = s.suspList[:0]
-	s.gen++
+	s.maxSuspPos = 0
+	s.bumpGen()
 }
 
 // migrate implements Figure 12's migrate: move op upward one edge at a
@@ -379,9 +458,7 @@ func (s *scheduler) migrate(n *graph.Node, op *ir.Op) {
 		if !hoisting && s.opts.GapPrevention && op.Iter != ir.NoIter {
 			if !s.gaplessMove(cur, op) {
 				s.stats.GaplessRejects++
-				s.suspended.Add(op.Index)
-				s.suspList = append(s.suspList, op)
-				s.stats.Suspensions++
+				s.suspendOp(op)
 				return
 			}
 		}
@@ -409,20 +486,20 @@ func (s *scheduler) migrate(n *graph.Node, op *ir.Op) {
 		if wasFull || op.IsBranch() {
 			// Leaving a full node can unblock resource-blocked ops;
 			// branch moves restructure the chain. Either way, retry.
-			s.gen++
+			s.bumpGen()
 		}
 		if len(s.suspList) > 0 {
 			// Rule 2: a successful move may have made a suspended op's
 			// gapless test satisfiable; wake them and re-rank.
 			s.stats.Unsuspensions += len(s.suspList)
 			s.clearSuspensions()
-			s.gen++
+			s.bumpGen()
 			s.stats.PartialMoves++
 			return
 		}
 	}
 	s.stats.ArrivedAtTarget++
-	s.gen++
+	s.bumpGen()
 }
 
 func (s *scheduler) recordBlock(target, cur *graph.Node, op *ir.Op, blk ps.Block) {
@@ -446,16 +523,16 @@ func (s *scheduler) recordBlock(target, cur *graph.Node, op *ir.Op, blk ps.Block
 		// as the old pointer-keyed map was for ops never inserted.)
 		by := blk.By
 		if by == nil {
-			s.unmoveable.Add(op.Index)
+			s.markUnmoveable(op)
 			return
 		}
 		if by.Frozen || s.unmoveable.Has(by.Index) {
-			s.unmoveable.Add(op.Index)
+			s.markUnmoveable(op)
 			return
 		}
 		if home := s.ctx.G.NodeOf(by); home != nil {
 			if home.Pos() <= target.Pos() {
-				s.unmoveable.Add(op.Index)
+				s.markUnmoveable(op)
 			}
 		}
 	case ps.BlockStructure:
@@ -470,7 +547,7 @@ func (s *scheduler) MoveableSet(n *graph.Node) []*ir.Op {
 	g := s.ctx.G
 	limit := n.Pos()
 	var out []*ir.Op
-	for _, op := range s.ranked {
+	for _, op := range s.pool {
 		if op.Frozen || s.unmoveable.Has(op.Index) {
 			continue
 		}

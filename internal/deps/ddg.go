@@ -304,7 +304,9 @@ func NewPriority(d *DDG) *Priority { return &Priority{d: d} }
 // schedulers handed a Priority can also query the dependence matrices.
 func (p *Priority) DDG() *DDG { return p.d }
 
-// Before reports whether a has strictly higher priority than b.
+// Before reports whether a has strictly higher priority than b. The
+// ID tiebreak makes it a strict total order, so Rank is a function of
+// the op set alone, independent of input order.
 func (p *Priority) Before(a, b *ir.Op) bool {
 	if a.Iter != b.Iter {
 		// NoIter (= -1) pre-loop code naturally ranks highest.
@@ -325,7 +327,11 @@ func (p *Priority) Before(a, b *ir.Op) bool {
 }
 
 // Rank sorts ops by descending priority (highest first), stably and
-// deterministically.
+// deterministically. Ranks are static for a schedule's lifetime: the
+// core scheduler freezes this order into its candidate selectors
+// (rank-indexed bitsets, DESIGN.md §6), so priority must never depend
+// on graph placement — only on the dependence structure, which the
+// scheduler's semantics-preserving moves keep fixed.
 func (p *Priority) Rank(ops []*ir.Op) {
 	sort.SliceStable(ops, func(i, j int) bool { return p.Before(ops[i], ops[j]) })
 }

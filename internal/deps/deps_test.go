@@ -2,6 +2,7 @@ package deps
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/ir"
@@ -79,6 +80,44 @@ func TestDDGChainsAndPriority(t *testing.T) {
 	p2.Rank(ops)
 	if ops[0] != a || ops[len(ops)-1] != e {
 		t.Errorf("Rank order wrong: %v", ops)
+	}
+}
+
+// TestRankTotalOrderDeterminism: Before is a strict total order (the ID
+// tiebreak), so Rank yields one canonical order regardless of input
+// permutation. The core scheduler's candidate selectors freeze this
+// order into rank-indexed bitsets for a schedule's lifetime; a
+// placement-dependent or input-order-dependent priority would silently
+// change pick sequences.
+func TestRankTotalOrderDeterminism(t *testing.T) {
+	var ops []*ir.Op
+	var prev ir.Reg
+	for i := 0; i < 40; i++ {
+		op := &ir.Op{ID: i + 1, Origin: i % 7, Iter: i % 3, Kind: ir.Const, Dst: ir.Reg(i + 1), Imm: int64(i)}
+		if i%4 == 0 && prev != 0 {
+			op.Kind, op.Src, op.Imm, op.BImm = ir.Add, [2]ir.Reg{prev}, 1, true
+		}
+		prev = op.Dst
+		ops = append(ops, op)
+	}
+	p := NewPriority(Build(ops))
+	want := append([]*ir.Op(nil), ops...)
+	p.Rank(want)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		got := append([]*ir.Op(nil), ops...)
+		rng.Shuffle(len(got), func(i, j int) { got[i], got[j] = got[j], got[i] })
+		p.Rank(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: rank %d is op %d, want op %d", trial, i, got[i].ID, want[i].ID)
+			}
+		}
+	}
+	for i := 0; i+1 < len(want); i++ {
+		if p.Before(want[i+1], want[i]) {
+			t.Fatalf("ranks %d/%d not antisymmetric", i, i+1)
+		}
 	}
 }
 

@@ -40,6 +40,14 @@ type Graph struct {
 	epoch      uint64
 	nextNodeID int
 	maxPos     float64
+
+	// onOpHome, when set, observes every event that changes which node
+	// (if any) holds an operation: placement, removal, re-homing via
+	// subtree adoption, and in-place freezing. Schedulers register it
+	// for the duration of a run so incrementally maintained candidate
+	// structures hear about ops whose home changed underneath them
+	// (see SetOpHomeHook).
+	onOpHome func(op *ir.Op)
 }
 
 // New returns an empty graph sharing the given allocator.
@@ -81,6 +89,9 @@ func (g *Graph) setLoc(op *ir.Op, v *Vertex) {
 	}
 	g.locs[id] = opLoc{op: op, v: v}
 	g.numPlaced++
+	if g.onOpHome != nil {
+		g.onOpHome(op)
+	}
 }
 
 // clearLoc unregisters op.
@@ -89,7 +100,25 @@ func (g *Graph) clearLoc(op *ir.Op) {
 	if uint(id) < uint(len(g.locs)) && g.locs[id].op == op {
 		g.locs[id] = opLoc{}
 		g.numPlaced--
+		if g.onOpHome != nil {
+			g.onOpHome(op)
+		}
 	}
+}
+
+// SetOpHomeHook registers f to be called after every mutation that
+// changes an operation's home: AddOp/RemoveOp/MoveOp (via the location
+// table), branch placement and detachment, AdoptSubtree re-homing a
+// whole tree, and FreezeOp flipping a placed op out of the schedulable
+// set. It returns the previously registered hook so callers can save
+// and restore around a scheduling run. The hook must not mutate the
+// graph; it exists so schedulers can maintain incremental candidate
+// structures (see internal/core) without rescanning: membership updates
+// happen at the mutation site, in O(1) per affected op.
+func (g *Graph) SetOpHomeHook(f func(op *ir.Op)) func(op *ir.Op) {
+	prev := g.onOpHome
+	g.onOpHome = f
+	return prev
 }
 
 // Version changes whenever the graph structure or op placement changes.
@@ -288,6 +317,9 @@ func (g *Graph) FreezeOp(op *ir.Op) {
 		n.noteOpRemoved(op)
 	}
 	op.Frozen = true
+	if g.onOpHome != nil {
+		g.onOpHome(op)
+	}
 	g.bump()
 }
 
@@ -382,6 +414,9 @@ func (g *Graph) AdoptSubtree(n *Node, sub *Vertex) {
 		ops += len(v.Ops)
 		for _, op := range v.Ops {
 			n.noteOpAdded(op)
+			if g.onOpHome != nil {
+				g.onOpHome(op)
+			}
 		}
 		if v.IsLeaf() {
 			g.link(n, v.Succ)
@@ -389,6 +424,9 @@ func (g *Graph) AdoptSubtree(n *Node, sub *Vertex) {
 		}
 		branches++
 		n.noteOpAdded(v.CJ)
+		if g.onOpHome != nil {
+			g.onOpHome(v.CJ)
+		}
 		adopt(v.True)
 		adopt(v.False)
 	}

@@ -1,0 +1,43 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/machine"
+)
+
+// TestPipelineCrossCheck runs full pipelining — unwinding, migration
+// with node splits and drain cloning, gap-prevention suspensions, and
+// renaming compensations — with the scheduler's retained reference scan
+// verifying every pick of the incremental candidate structure and its
+// invariants. Any divergence surfaces as a scheduling error.
+func TestPipelineCrossCheck(t *testing.T) {
+	cases := []struct {
+		name     string
+		spec     *ir.LoopSpec
+		gap, ren bool
+	}{
+		{"dot-gap", dotLoop(), true, false},
+		{"dot-renaming", dotLoop(), true, true},
+		{"fig-gap", figExample(), true, false},
+		{"fig-nogap", figExample(), false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig(machine.New(4))
+			cfg.GapPrevention = tc.gap
+			cfg.Renaming = tc.ren
+			cfg.Unwind = 12
+			cfg.CrossCheck = true
+			res, err := PerfectPipeline(context.Background(), tc.spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Unwound.G.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -34,6 +34,11 @@ type Config struct {
 	Periods int
 	// TraceNode is passed to the scheduler for Figure 11-style traces.
 	TraceNode func(n *graph.Node, moveable []*ir.Op)
+	// CrossCheck runs the scheduler with its retained reference pick
+	// scan cross-checking the incremental candidate structure on every
+	// pick (testing only; like TraceNode it cannot change the schedule
+	// and is excluded from Knobs).
+	CrossCheck bool
 }
 
 // Defaults applied when the corresponding Config field is zero.
@@ -156,6 +161,7 @@ func pipelineOnce(ctx context.Context, spec *ir.LoopSpec, cfg Config, u int) (*R
 		EmptyPrelude:  cfg.EmptyPrelude,
 		Renaming:      cfg.Renaming,
 		TraceNode:     cfg.TraceNode,
+		CrossCheck:    cfg.CrossCheck,
 	})
 	if err != nil {
 		return nil, err
@@ -197,7 +203,8 @@ func SimplePipeline(ctx context.Context, spec *ir.LoopSpec, cfg Config, n int) (
 	pctx := ps.NewCtx(g, cfg.Machine, uw.ExitLive)
 	pctx.D = ddg
 	stats, err := core.Schedule(ctx, pctx, uw.Ops, deps.NewPriority(ddg), core.Options{
-		Renaming: cfg.Renaming,
+		Renaming:   cfg.Renaming,
+		CrossCheck: cfg.CrossCheck,
 	})
 	if err != nil {
 		return nil, err
