@@ -176,6 +176,14 @@ func Schedule(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Priorit
 	// the graph; restore the previous one on return (graphs outlive a
 	// scheduling run).
 	defer pctx.G.SetOpHomeHook(s.prevHook)
+	if opts.CrossCheck {
+		// Extend the cross-check into ps: run the retained reference
+		// dependence scans next to every summary-filtered legality test
+		// for the duration of this schedule.
+		prev := pctx.CrossCheck
+		pctx.CrossCheck = true
+		defer func() { pctx.CrossCheck = prev }()
+	}
 
 	for i := 0; i < opts.EmptyPrelude; i++ {
 		pctx.G.InsertBefore(pctx.G.Entry)

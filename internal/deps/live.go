@@ -13,7 +13,9 @@ import (
 // fetch), so any use of r anywhere in a node's tree makes r live at that
 // node's entry. A definition kills r only when it commits on every path
 // through the node, i.e. when the defining operation sits at the root
-// vertex.
+// vertex. Both tests are O(1) reads of the node's def/use summary — the
+// chain walk over successors remains, but no node's tree is ever
+// re-walked op by op.
 func LiveAtEntry(g *graph.Graph, n *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool) bool {
 	if r == ir.NoReg {
 		return false
@@ -25,6 +27,43 @@ func LiveAtEntry(g *graph.Graph, n *graph.Node, r ir.Reg, exitLive map[ir.Reg]bo
 }
 
 func liveAtEntry(g *graph.Graph, m *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool, epoch uint64) bool {
+	if m == nil {
+		return exitLive[r]
+	}
+	if m.Visited(epoch) {
+		return false
+	}
+	if m.Root.SubtreeReads(r) {
+		return true
+	}
+	if m.Root.DefinesHere(r) {
+		// Root-vertex commit: kills r on every path through m.
+		return false
+	}
+	live := false
+	m.VisitLeaves(func(l *graph.Vertex) bool {
+		if liveAtEntry(g, l.Succ, r, exitLive, epoch) {
+			live = true
+			return false
+		}
+		return true
+	})
+	return live
+}
+
+// LiveAtEntryReference is the retained op-by-op implementation of
+// LiveAtEntry: it recomputes each node's used/killed facts by walking the
+// instruction tree instead of reading the maintained summary. Kept as
+// the cross-check oracle (ps runs it next to the summary version under
+// CrossCheck) and as the executable definition of the liveness rule.
+func LiveAtEntryReference(g *graph.Graph, n *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	return liveAtEntryReference(g, n, r, exitLive, g.BeginVisit())
+}
+
+func liveAtEntryReference(g *graph.Graph, m *graph.Node, r ir.Reg, exitLive map[ir.Reg]bool, epoch uint64) bool {
 	if m == nil {
 		return exitLive[r]
 	}
@@ -54,7 +93,7 @@ func liveAtEntry(g *graph.Graph, m *graph.Node, r ir.Reg, exitLive map[ir.Reg]bo
 	}
 	live := false
 	m.VisitLeaves(func(l *graph.Vertex) bool {
-		if liveAtEntry(g, l.Succ, r, exitLive, epoch) {
+		if liveAtEntryReference(g, l.Succ, r, exitLive, epoch) {
 			live = true
 			return false
 		}
@@ -74,33 +113,33 @@ func LiveOnSubtree(g *graph.Graph, v *graph.Vertex, r ir.Reg, exitLive map[ir.Re
 	if r == ir.NoReg {
 		return false
 	}
-	return liveOnSubtree(g, v, r, exitLive)
+	return liveOnSubtree(g, v, r, exitLive, LiveAtEntry)
 }
 
-func liveOnSubtree(g *graph.Graph, w *graph.Vertex, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+// LiveOnSubtreeReference is LiveOnSubtree over the reference (walking)
+// per-node liveness; the cross-check oracle for the write-live test.
+func LiveOnSubtreeReference(g *graph.Graph, v *graph.Vertex, r ir.Reg, exitLive map[ir.Reg]bool) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	return liveOnSubtree(g, v, r, exitLive, LiveAtEntryReference)
+}
+
+func liveOnSubtree(g *graph.Graph, w *graph.Vertex, r ir.Reg, exitLive map[ir.Reg]bool,
+	atEntry func(*graph.Graph, *graph.Node, ir.Reg, map[ir.Reg]bool) bool) bool {
 	if w.IsLeaf() {
 		if w.Succ == nil {
 			return exitLive[r]
 		}
-		return LiveAtEntry(g, w.Succ, r, exitLive)
+		return atEntry(g, w.Succ, r, exitLive)
 	}
-	return liveOnSubtree(g, w.True, r, exitLive) ||
-		liveOnSubtree(g, w.False, r, exitLive)
+	return liveOnSubtree(g, w.True, r, exitLive, atEntry) ||
+		liveOnSubtree(g, w.False, r, exitLive, atEntry)
 }
 
 // SubtreeDefines reports whether any operation in the subtree rooted at v
-// (branches excluded — they define nothing) writes register r.
+// (branches excluded — they define nothing) writes register r. Answered
+// from the subtree's maintained def summary.
 func SubtreeDefines(v *graph.Vertex, r ir.Reg) bool {
-	if r == ir.NoReg {
-		return false
-	}
-	for _, op := range v.Ops {
-		if op.Def() == r {
-			return true
-		}
-	}
-	if v.IsLeaf() {
-		return false
-	}
-	return SubtreeDefines(v.True, r) || SubtreeDefines(v.False, r)
+	return v.SubtreeDefines(r)
 }

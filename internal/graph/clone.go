@@ -35,12 +35,15 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 		maxPos:     g.maxPos,
 	}
 
-	// Count vertices (and per-iteration count slots) so every arena is
-	// sized exactly: growing an arena mid-build would move objects
-	// already pointed at.
-	nVertices, nIterSlots := 0, 0
+	// Count vertices (and per-iteration count slots, and def/use summary
+	// words) so every arena is sized exactly: growing an arena mid-build
+	// would move objects already pointed at.
+	nVertices, nIterSlots, nSumWords := 0, 0, 0
 	for n := range g.nodes {
-		n.Walk(func(*Vertex) { nVertices++ })
+		n.Walk(func(v *Vertex) {
+			nVertices++
+			nSumWords += v.sum.words()
+		})
 		nIterSlots += len(n.iterCounts)
 	}
 	opArena := make([]ir.Op, 0, g.numPlaced)
@@ -48,6 +51,7 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	nodeArena := make([]Node, 0, len(g.nodes))
 	opPtrArena := make([]*ir.Op, 0, g.numPlaced)
 	iterArena := make([]int32, 0, nIterSlots)
+	sumArena := make([]uint64, nSumWords)
 
 	byID := make([]*ir.Op, len(g.locs))
 	cloneOp := func(op *ir.Op) *ir.Op {
@@ -89,6 +93,7 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	cloneVertex = func(v *Vertex, n *Node, parent *Vertex) *Vertex {
 		vertexArena = append(vertexArena, Vertex{node: n, parent: parent})
 		nv := &vertexArena[len(vertexArena)-1]
+		sumArena = v.sum.cloneInto(&nv.sum, sumArena)
 		if len(v.Ops) > 0 {
 			// Each vertex's op-pointer list is a capped sub-slice of one
 			// shared arena; a later append on the vertex re-allocates

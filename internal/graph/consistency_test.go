@@ -10,12 +10,18 @@ import (
 
 // TestRandomMutationsKeepCachesConsistent drives long random sequences
 // of graph mutations — op placement and movement, freezing, branch
-// insertion, leaf retargeting, node insertion and splicing — and after
-// every step lets Validate cross-check the incremental caches (compact
+// insertion, leaf retargeting, node insertion and splicing, move-cj
+// style node splits, and in-place operand rewrites — and after every
+// step lets Validate cross-check the incremental caches (compact
 // adjacency sets, per-iteration schedulable counts, op/branch counts,
-// op locations) against full recounts. This is the consistency property
-// the walk-free schedulers rely on: no sequence of mutator calls may
-// drift a cache from the structure it summarizes.
+// op locations, def/use summaries) against full recounts. This is the
+// consistency property the walk-free schedulers rely on: no sequence of
+// mutator calls may drift a cache from the structure it summarizes.
+//
+// Operations draw registers from a small shared pool, so removals hit
+// the case where several ops contribute the same summary bit, and the
+// mix includes loads, stores (direct and indirect) and copies, so the
+// store/load counters and every operand-rewrite path are exercised.
 func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 	for seed := int64(1); seed <= 10; seed++ {
 		seed := seed
@@ -24,11 +30,38 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 			al := ir.NewAlloc()
 			g := New(al)
 
+			regs := make([]ir.Reg, 6)
+			for i := range regs {
+				regs[i] = al.Reg("")
+			}
+			arr := al.Array("A")
+			randReg := func() ir.Reg { return regs[rng.Intn(len(regs))] }
+
 			var placed []*ir.Op // placed non-branch ops
 			origin := 0
 			newOp := func(iter int) *ir.Op {
-				op := &ir.Op{ID: al.OpID(), Origin: origin, Iter: iter, Kind: ir.Const, Dst: al.Reg(""), Imm: int64(origin)}
+				op := &ir.Op{ID: al.OpID(), Origin: origin, Iter: iter}
 				origin++
+				switch rng.Intn(5) {
+				case 0:
+					op.Kind, op.Dst, op.Imm = ir.Const, randReg(), int64(origin)
+				case 1:
+					op.Kind, op.Dst = ir.Add, randReg()
+					op.Src = [2]ir.Reg{randReg(), randReg()}
+				case 2:
+					op.Kind, op.Dst = ir.Copy, randReg()
+					op.Src = [2]ir.Reg{randReg()}
+				case 3:
+					op.Kind, op.Dst = ir.Load, randReg()
+					op.Mem = ir.MemRef{Array: arr, Index: int64(rng.Intn(4))}
+					if rng.Intn(2) == 0 {
+						op.Mem.IndexReg = randReg()
+					}
+				case 4:
+					op.Kind = ir.Store
+					op.Src = [2]ir.Reg{randReg()}
+					op.Mem = ir.MemRef{Array: arr, Index: int64(rng.Intn(4))}
+				}
 				return op
 			}
 
@@ -72,16 +105,38 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 				}
 				placed = placed[:w]
 			}
+			// defClash reports whether putting a definition of d at v
+			// would break the single-definition-per-path invariant the
+			// schedulers maintain (conservative: the op being moved is
+			// not excluded, so an in-subtree move may skip needlessly).
+			defClash := func(v *Vertex, d ir.Reg) bool {
+				if d == ir.NoReg {
+					return false
+				}
+				if v.SubtreeDefines(d) {
+					return true
+				}
+				for a := v.Parent(); a != nil; a = a.Parent() {
+					if a.DefinesHere(d) {
+						return true
+					}
+				}
+				return false
+			}
 
 			for step := 0; step < 250; step++ {
-				switch rng.Intn(8) {
+				switch rng.Intn(11) {
 				case 0: // place a fresh op (NoIter included, sometimes frozen)
 					iter := rng.Intn(5) - 1
 					op := newOp(iter)
 					if rng.Intn(4) == 0 {
 						op.Frozen = true
 					}
-					g.AddOp(op, randVertex(randNode()))
+					v := randVertex(randNode())
+					if defClash(v, op.Def()) {
+						continue
+					}
+					g.AddOp(op, v)
 					placed = append(placed, op)
 				case 1: // remove a placed op
 					prunePlaced()
@@ -93,7 +148,12 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 				case 2: // move a placed op to a random vertex
 					prunePlaced()
 					if len(placed) > 0 {
-						g.MoveOp(placed[rng.Intn(len(placed))], randVertex(randNode()))
+						op := placed[rng.Intn(len(placed))]
+						v := randVertex(randNode())
+						if defClash(v, op.Def()) {
+							continue
+						}
+						g.MoveOp(op, v)
 					}
 				case 3: // freeze a placed op through the graph
 					prunePlaced()
@@ -108,7 +168,7 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 					ls := n.Leaves()
 					leaf := ls[rng.Intn(len(ls))]
 					cj := &ir.Op{ID: al.OpID(), Origin: origin, Iter: rng.Intn(3), Kind: ir.CJ,
-						Src: [2]ir.Reg{al.Reg("")}, Imm: 1, BImm: true, Rel: ir.Lt}
+						Src: [2]ir.Reg{randReg()}, Imm: 1, BImm: true, Rel: ir.Lt}
 					origin++
 					var tSucc, fSucc *Node
 					ns := liveNodes()
@@ -137,6 +197,66 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 						continue // would leave the graph entry-less
 					}
 					g.SpliceOutEmpty(n)
+				case 8: // rewrite a use in place (copy propagation's mutation)
+					prunePlaced()
+					if len(placed) == 0 {
+						continue
+					}
+					op := placed[rng.Intn(len(placed))]
+					var buf [3]ir.Reg
+					uses := op.Uses(buf[:0])
+					if len(uses) == 0 {
+						continue
+					}
+					g.ReplaceUse(op, uses[rng.Intn(len(uses))], randReg())
+				case 9: // retarget a destination in place (renaming's mutation)
+					prunePlaced()
+					if len(placed) == 0 {
+						continue
+					}
+					op := placed[rng.Intn(len(placed))]
+					if op.IsStore() {
+						continue
+					}
+					r := randReg()
+					if defClash(g.Where(op), r) {
+						continue
+					}
+					g.RetargetDef(op, r)
+				case 10: // split a branch-rooted unreferenced node (move-cj shape)
+					var n *Node
+					for _, cand := range liveNodes() {
+						if cand != g.Entry && !cand.Root.IsLeaf() && g.PredEdgeCount(cand) == 0 {
+							n = cand
+							break
+						}
+					}
+					if n == nil {
+						continue
+					}
+					cj, rootOps, tSub, fSub := g.DetachBranchRoot(n)
+					tn := g.NewNode()
+					g.AdoptSubtree(tn, tSub)
+					for _, o := range rootOps {
+						g.AddOp(o, tSub)
+					}
+					fn := g.NewNode()
+					fn.Drain = true
+					g.AdoptSubtree(fn, fSub)
+					for _, o := range rootOps {
+						c := o.Clone(al.OpID(), true)
+						g.AddOp(c, fSub)
+						placed = append(placed, c)
+					}
+					// Re-home the detached branch at some leaf elsewhere.
+					home := randNode()
+					for home == tn || home == fn {
+						home = randNode()
+					}
+					ls := home.Leaves()
+					leaf := ls[rng.Intn(len(ls))]
+					g.RetargetLeaf(leaf, nil)
+					g.InsertBranchAtLeaf(leaf, cj, tn, fn)
 				}
 				if err := g.Validate(); err != nil {
 					t.Fatalf("seed %d step %d: %v", seed, step, err)
@@ -154,6 +274,62 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 						t.Fatalf("IterCount(%d) = %d, recount %d", iter, got, want)
 					}
 				}
+			}
+
+			// Spot-check the summary query API against op-by-op walks of
+			// every subtree, for every pool register (Validate checks the
+			// internal tiers; this checks the exported answers).
+			for _, n := range liveNodes() {
+				n.Walk(func(v *Vertex) {
+					stores, loads := false, false
+					defsHere := map[ir.Reg]bool{}
+					defs := map[ir.Reg]bool{}
+					uses := map[ir.Reg]bool{}
+					var walk func(w *Vertex)
+					walk = func(w *Vertex) {
+						var buf [3]ir.Reg
+						for _, op := range w.Ops {
+							if d := op.Def(); d != ir.NoReg {
+								defs[d] = true
+								if w == v {
+									defsHere[d] = true
+								}
+							}
+							for _, u := range op.Uses(buf[:0]) {
+								uses[u] = true
+							}
+							stores = stores || op.IsStore()
+							loads = loads || op.IsLoad()
+						}
+						if w.CJ != nil {
+							for _, u := range w.CJ.Uses(buf[:0]) {
+								uses[u] = true
+							}
+						}
+						if !w.IsLeaf() {
+							walk(w.True)
+							walk(w.False)
+						}
+					}
+					walk(v)
+					for _, r := range regs {
+						if got, want := v.SubtreeDefines(r), defs[r]; got != want {
+							t.Fatalf("n%d: SubtreeDefines(r%d) = %v, walk says %v", n.ID, r, got, want)
+						}
+						if got, want := v.SubtreeReads(r), uses[r]; got != want {
+							t.Fatalf("n%d: SubtreeReads(r%d) = %v, walk says %v", n.ID, r, got, want)
+						}
+						if got, want := v.DefinesHere(r), defsHere[r]; got != want {
+							t.Fatalf("n%d: DefinesHere(r%d) = %v, walk says %v", n.ID, r, got, want)
+						}
+					}
+					if got := v.SubtreeStores(); got != stores {
+						t.Fatalf("n%d: SubtreeStores() = %v, walk says %v", n.ID, got, stores)
+					}
+					if got := v.SubtreeLoads(); got != loads {
+						t.Fatalf("n%d: SubtreeLoads() = %v, walk says %v", n.ID, got, loads)
+					}
+				})
 			}
 		})
 	}

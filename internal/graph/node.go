@@ -119,8 +119,18 @@ func (n *Node) bumpIter(iter int, d int32) {
 	if i < 0 {
 		panic("graph: op with iteration below NoIter")
 	}
-	for len(n.iterCounts) <= i {
-		n.iterCounts = append(n.iterCounts, 0)
+	if i >= len(n.iterCounts) {
+		// Geometric growth with a zeroed tail (Validate tolerates
+		// trailing zero slots); nodes born after the graph has seen
+		// this iteration are pre-sized past it (Graph.iterSlots), so
+		// this is the cold path.
+		c := 2 * len(n.iterCounts)
+		if c < i+1 {
+			c = i + 1
+		}
+		grown := make([]int32, c)
+		copy(grown, n.iterCounts)
+		n.iterCounts = grown
 	}
 	n.iterCounts[i] += d
 	if n.iterCounts[i] < 0 {

@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// summary is the incrementally maintained def/use digest of one vertex:
+// the "own" tier covers exactly the vertex's operation list plus its
+// conditional jump's reads, the "sub" tier covers the whole subtree
+// rooted at the vertex (own ∪ both children's sub tiers). Register sets
+// are exact — a bit is set iff some operation in the covered scope
+// defines/reads that register — and the store/load counters count
+// memory operations in the covered scope. Frozen operations are
+// included: the ps dependence scans the summaries filter do not skip
+// them either.
+//
+// Maintenance discipline (see DESIGN.md §7): adding an operation ORs
+// its registers in (exact, because a bit is "some op contributes");
+// removing one recomputes the own tier from the surviving op list
+// (bits cannot be cleared blindly — another op may contribute the same
+// register), then the sub tiers along the path to the root are rebuilt
+// as own ∪ children. Operand rewrites (copy propagation, renaming) must
+// reach the vertex through Graph.ReplaceUse / Graph.RetargetDef, which
+// recompute the same way.
+type summary struct {
+	ownDefs, ownUses bitset.Grow
+	subDefs, subUses bitset.Grow
+	ownStores        int32
+	ownLoads         int32
+	subStores        int32
+	subLoads         int32
+}
+
+// presizeSummary points v's four register sets at zeroed storage carved
+// from the graph's word arena, sized for the current register space, so
+// steady-state maintenance (addOp OR-ins, recomputes, sub-tier unions)
+// never grows them. Registers allocated after v's creation (renaming
+// mid-schedule) still grow the affected set on demand.
+func (g *Graph) presizeSummary(v *Vertex) {
+	w := g.Alloc.NumRegs()>>6 + 1
+	backing := g.allocWords(4 * w)
+	s := &v.sum
+	s.ownDefs.SetBacking(backing[0*w : 1*w : 1*w])
+	s.ownUses.SetBacking(backing[1*w : 2*w : 2*w])
+	s.subDefs.SetBacking(backing[2*w : 3*w : 3*w])
+	s.subUses.SetBacking(backing[3*w : 4*w : 4*w])
+}
+
+// words returns the total backing-word count across the four register
+// sets (arena sizing for Clone).
+func (s *summary) words() int {
+	return s.ownDefs.Words() + s.ownUses.Words() + s.subDefs.Words() + s.subUses.Words()
+}
+
+// cloneInto copies s into dst, carving the register sets' storage out
+// of arena; it returns the unused arena tail. One graph-wide arena
+// keeps Clone at a constant allocation count.
+func (s *summary) cloneInto(dst *summary, arena []uint64) []uint64 {
+	dst.ownStores, dst.ownLoads = s.ownStores, s.ownLoads
+	dst.subStores, dst.subLoads = s.subStores, s.subLoads
+	for _, p := range [4]struct{ d, s *bitset.Grow }{
+		{&dst.ownDefs, &s.ownDefs}, {&dst.ownUses, &s.ownUses},
+		{&dst.subDefs, &s.subDefs}, {&dst.subUses, &s.subUses},
+	} {
+		n := p.s.Words()
+		p.d.SetWords(arena[:n], p.s)
+		arena = arena[n:]
+	}
+	return arena
+}
+
+// addOp ORs one operation's contribution into the own tier (branches
+// contribute reads only; Def is NoReg for them).
+func (s *summary) addOp(op *ir.Op) {
+	if d := op.Def(); d != ir.NoReg {
+		s.ownDefs.Add(int(d))
+	}
+	var buf [3]ir.Reg
+	for _, u := range op.Uses(buf[:0]) {
+		s.ownUses.Add(int(u))
+	}
+	if op.IsStore() {
+		s.ownStores++
+	}
+	if op.IsLoad() {
+		s.ownLoads++
+	}
+}
+
+// recomputeOwn rebuilds the own tier from v's current op list and CJ.
+func (v *Vertex) recomputeOwn() {
+	s := &v.sum
+	s.ownDefs.Reset()
+	s.ownUses.Reset()
+	s.ownStores, s.ownLoads = 0, 0
+	for _, op := range v.Ops {
+		s.addOp(op)
+	}
+	if v.CJ != nil {
+		s.addOp(v.CJ)
+	}
+}
+
+// recomputeSub rebuilds v's sub tier as own ∪ children (children's sub
+// tiers are trusted; callers recompute bottom-up).
+func (v *Vertex) recomputeSub() {
+	s := &v.sum
+	s.subDefs.CopyFrom(&s.ownDefs)
+	s.subUses.CopyFrom(&s.ownUses)
+	s.subStores, s.subLoads = s.ownStores, s.ownLoads
+	if v.IsLeaf() {
+		return
+	}
+	for _, c := range [2]*Vertex{v.True, v.False} {
+		s.subDefs.Or(&c.sum.subDefs)
+		s.subUses.Or(&c.sum.subUses)
+		s.subStores += c.sum.subStores
+		s.subLoads += c.sum.subLoads
+	}
+}
+
+// resummarize rebuilds the sub tiers on the path from v to its root
+// after v's own tier changed. O(tree depth) word operations.
+func resummarize(v *Vertex) {
+	for x := v; x != nil; x = x.parent {
+		x.recomputeSub()
+	}
+}
+
+// recomputeSummaries rebuilds every summary in the subtree rooted at v
+// from scratch, bottom-up (subtree adoption, freshly built clones).
+func recomputeSummaries(v *Vertex) {
+	if !v.IsLeaf() {
+		recomputeSummaries(v.True)
+		recomputeSummaries(v.False)
+	}
+	v.recomputeOwn()
+	v.recomputeSub()
+}
+
+// SubtreeDefines reports whether any operation in the subtree rooted at
+// v writes register r. O(1) from the maintained summary; branches
+// define nothing.
+func (v *Vertex) SubtreeDefines(r ir.Reg) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	return v.sum.subDefs.Has(int(r))
+}
+
+// SubtreeReads reports whether any operation (conditional jumps
+// included) in the subtree rooted at v reads register r. O(1).
+func (v *Vertex) SubtreeReads(r ir.Reg) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	return v.sum.subUses.Has(int(r))
+}
+
+// DefinesHere reports whether an operation attached to v itself writes
+// register r (the liveness kill test: only root-vertex definitions
+// commit on every path). O(1).
+func (v *Vertex) DefinesHere(r ir.Reg) bool {
+	if r == ir.NoReg {
+		return false
+	}
+	return v.sum.ownDefs.Has(int(r))
+}
+
+// SubtreeStores reports whether the subtree rooted at v contains a
+// store. O(1).
+func (v *Vertex) SubtreeStores() bool { return v.sum.subStores > 0 }
+
+// SubtreeLoads reports whether the subtree rooted at v contains a
+// load. O(1).
+func (v *Vertex) SubtreeLoads() bool { return v.sum.subLoads > 0 }
+
+// ReplaceUse substitutes register to for every read of from in op,
+// keeping the def/use summaries exact. All operand rewrites of placed
+// operations (copy propagation, renaming retries) must route through
+// this method — calling ir.Op.ReplaceUse directly on a placed op would
+// silently desynchronize the summaries the ps fast paths filter on.
+// Unplaced ops are rewritten without summary work.
+func (g *Graph) ReplaceUse(op *ir.Op, from, to ir.Reg) {
+	op.ReplaceUse(from, to)
+	g.noteOperandsChanged(op)
+}
+
+// RetargetDef points op's destination at register r (the renaming
+// transformation), keeping the def/use summaries exact. Same routing
+// rule as ReplaceUse: a placed op's Dst must never be assigned
+// directly.
+func (g *Graph) RetargetDef(op *ir.Op, r ir.Reg) {
+	if op.IsBranch() || op.IsStore() {
+		panic("graph: RetargetDef on op without a register destination")
+	}
+	op.Dst = r
+	g.noteOperandsChanged(op)
+}
+
+// noteOperandsChanged refreshes summaries after op's registers were
+// rewritten in place.
+func (g *Graph) noteOperandsChanged(op *ir.Op) {
+	if v := g.loc(op); v != nil {
+		v.recomputeOwn()
+		resummarize(v)
+		g.bump()
+	}
+}

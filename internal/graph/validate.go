@@ -138,6 +138,9 @@ func (g *Graph) Validate() error {
 		if err := checkSingleDefPerPath(n); err != nil {
 			return err
 		}
+		if err := checkSummaries(n); err != nil {
+			return err
+		}
 	}
 
 	// Every registered location must be placed in a live node, and the
@@ -204,6 +207,52 @@ func checkEdgeSet(g *Graph, n *Node, s *edgeSet, want map[*Node]int, dir string)
 		}
 	}
 	return nil
+}
+
+// checkSummaries cross-checks every vertex's incremental def/use
+// summary against a from-scratch recomputation: the own tier against
+// the vertex's op list, the sub tier against own ∪ children. Any
+// mutation path that forgets to resummarize — including operand
+// rewrites bypassing Graph.ReplaceUse/RetargetDef — surfaces here,
+// so every randomized test calling Validate inherits the invariant
+// the ps fast-path filters depend on.
+func checkSummaries(n *Node) error {
+	var check func(v *Vertex) (*summary, error)
+	check = func(v *Vertex) (*summary, error) {
+		want := &summary{}
+		for _, op := range v.Ops {
+			want.addOp(op)
+		}
+		if v.CJ != nil {
+			want.addOp(v.CJ)
+		}
+		if !want.ownDefs.Equal(&v.sum.ownDefs) || !want.ownUses.Equal(&v.sum.ownUses) ||
+			want.ownStores != v.sum.ownStores || want.ownLoads != v.sum.ownLoads {
+			return nil, fmt.Errorf("n%d: vertex own def/use summary out of sync", n.ID)
+		}
+		want.subDefs.CopyFrom(&want.ownDefs)
+		want.subUses.CopyFrom(&want.ownUses)
+		want.subStores, want.subLoads = want.ownStores, want.ownLoads
+		if !v.IsLeaf() {
+			for _, c := range [2]*Vertex{v.True, v.False} {
+				cw, err := check(c)
+				if err != nil {
+					return nil, err
+				}
+				want.subDefs.Or(&cw.subDefs)
+				want.subUses.Or(&cw.subUses)
+				want.subStores += cw.subStores
+				want.subLoads += cw.subLoads
+			}
+		}
+		if !want.subDefs.Equal(&v.sum.subDefs) || !want.subUses.Equal(&v.sum.subUses) ||
+			want.subStores != v.sum.subStores || want.subLoads != v.sum.subLoads {
+			return nil, fmt.Errorf("n%d: vertex subtree def/use summary out of sync", n.ID)
+		}
+		return want, nil
+	}
+	_, err := check(n.Root)
+	return err
 }
 
 // checkSingleDefPerPath enforces that no root-to-leaf path of the

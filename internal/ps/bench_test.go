@@ -1,0 +1,173 @@
+package ps
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/ir"
+)
+
+// moveBenchFixture builds the steady-state move-op scenario the
+// migration loop hits millions of times: a chain
+//
+//	n0 [r8,r9 consts] -> n1 [r1..r4 consts] -> n2 [mover, hitter, keep]
+//
+// where mover reads r9 (defined two nodes up, so its probe into n1 is a
+// summary miss — the common case) and hitter reads r1 (defined in n1,
+// so its probe is a summary hit that must fall through to the full path
+// scan and report the blocking producer).
+func moveBenchFixture() (f *fixture, n2 *graph.Node, mover, hitter *ir.Op) {
+	f = newFixture(8)
+	r8, r9 := f.al.Reg("r8"), f.al.Reg("r9")
+	n0 := graph.AppendOp(f.g, nil, f.constOp(r8, 8))
+	f.g.AddOp(f.constOp(r9, 9), n0.Root)
+
+	r1 := f.al.Reg("r1")
+	n1 := graph.AppendOp(f.g, n0, f.constOp(r1, 0))
+	for i := 1; i < 4; i++ {
+		f.g.AddOp(f.constOp(f.al.Reg(""), int64(i)), n1.Root)
+	}
+
+	mover = f.addI(f.al.Reg("m"), r9, 1)
+	hitter = f.addI(f.al.Reg("h"), r1, 1)
+	keep := f.constOp(f.al.Reg("k"), 7)
+	n2 = graph.AppendOp(f.g, n1, mover)
+	f.g.AddOp(hitter, n2.Root)
+	f.g.AddOp(keep, n2.Root)
+	return f, n2, mover, hitter
+}
+
+// scanBenchFixture builds a branched source node for the move-past-read
+// scan: the root holds the op being moved plus a conditional jump, and
+// both leaves hold a handful of ops. reader (in the true leaf) reads
+// hit's destination; nothing reads miss's destination.
+func scanBenchFixture() (f *fixture, n *graph.Node, miss, hit *ir.Op) {
+	f = newFixture(8)
+	r1, r2, rc := f.al.Reg("r1"), f.al.Reg("r2"), f.al.Reg("rc")
+	n0 := graph.AppendOp(f.g, nil, f.constOp(rc, 0))
+	exit := f.g.NewNode()
+	f.g.AddOp(f.constOp(f.al.Reg(""), 0), exit.Root)
+
+	cj := &ir.Op{ID: f.al.OpID(), Kind: ir.CJ, Src: [2]ir.Reg{rc}, Imm: 10, BImm: true, Rel: ir.Lt}
+	n = graph.AppendBranch(f.g, n0, cj, exit)
+	miss = f.constOp(r1, 1)
+	hit = f.constOp(r2, 2)
+	f.g.AddOp(miss, n.Root)
+	f.g.AddOp(hit, n.Root)
+	for i := 0; i < 3; i++ {
+		f.g.AddOp(f.constOp(f.al.Reg(""), int64(i)), n.Root.True)
+		f.g.AddOp(f.constOp(f.al.Reg(""), int64(i)), n.Root.False)
+	}
+	reader := f.addI(f.al.Reg("rd"), r2, 1)
+	f.g.AddOp(reader, n.Root.True)
+	return f, n, miss, hit
+}
+
+// BenchmarkTryMoveOpUp measures one move-op legality check + move.
+// probeMiss is the dominant steady-state shape (the target instruction
+// defines none of the op's registers, so the summary filter skips the
+// path walk); probeHit forces the retained full scan; commit performs
+// the move and puts the op back through the graph mutators.
+func BenchmarkTryMoveOpUp(b *testing.B) {
+	b.Run("probeMiss", func(b *testing.B) {
+		f, _, mover, _ := moveBenchFixture()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if blk := f.c.TryMoveOpUp(mover, false, nil); blk.Kind != BlockNone {
+				b.Fatalf("probe blocked: %v", blk.Kind)
+			}
+		}
+	})
+	b.Run("probeHit", func(b *testing.B) {
+		f, _, _, hitter := moveBenchFixture()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if blk := f.c.TryMoveOpUp(hitter, false, nil); blk.Kind != BlockDep {
+				b.Fatalf("probe not blocked: %v", blk.Kind)
+			}
+		}
+	})
+	b.Run("commit", func(b *testing.B) {
+		f, n2, mover, _ := moveBenchFixture()
+		home := f.g.Where(mover)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if blk := f.c.TryMoveOpUp(mover, true, nil); blk.Kind != BlockNone {
+				b.Fatalf("move blocked: %v", blk.Kind)
+			}
+			f.g.MoveOp(mover, home) // reset for the next iteration
+		}
+		b.StopTimer()
+		if f.g.NodeOf(mover) != n2 {
+			b.Fatal("mover not restored")
+		}
+	})
+}
+
+// BenchmarkScanMovePastRead measures the left-behind-reader check over
+// a branched source node: miss is answered by the node's read summary
+// without touching the tree, hit falls through to the full walk.
+func BenchmarkScanMovePastRead(b *testing.B) {
+	b.Run("miss", func(b *testing.B) {
+		f, n, miss, _ := scanBenchFixture()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if blk := f.c.scanMovePastRead(n, miss, nil); blk.Kind != BlockNone {
+				b.Fatalf("miss blocked: %v", blk.Kind)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		f, n, _, hit := scanBenchFixture()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if blk := f.c.scanMovePastRead(n, hit, nil); blk.Kind != BlockDep {
+				b.Fatalf("hit not blocked: %v", blk.Kind)
+			}
+		}
+	})
+}
+
+// The move-op probe and the move-past-read scan run inside the Gapless-
+// move test's inner search loop; an allocation there multiplies into
+// the schedule's hottest path. These guards pin both at zero for the
+// summary-filtered miss AND the full-scan hit (the retained walks use
+// the documented stack buffers — see stackbuf_test.go for the bounds).
+func TestMoveProbesZeroAlloc(t *testing.T) {
+	f, _, mover, hitter := moveBenchFixture()
+	if err := f.g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		f.c.TryMoveOpUp(mover, false, nil)
+	}); n != 0 {
+		t.Errorf("probe (summary miss) allocates %v/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		f.c.TryMoveOpUp(hitter, false, nil)
+	}); n != 0 {
+		t.Errorf("probe (full scan) allocates %v/op, want 0", n)
+	}
+}
+
+func TestScanMovePastReadZeroAlloc(t *testing.T) {
+	f, n, miss, hit := scanBenchFixture()
+	if err := f.g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		f.c.scanMovePastRead(n, miss, nil)
+	}); a != 0 {
+		t.Errorf("scan (summary miss) allocates %v/op, want 0", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		f.c.scanMovePastRead(n, hit, nil)
+	}); a != 0 {
+		t.Errorf("scan (full walk) allocates %v/op, want 0", a)
+	}
+}

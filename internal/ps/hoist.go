@@ -1,6 +1,8 @@
 package ps
 
 import (
+	"fmt"
+
 	"repro/internal/deps"
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -43,13 +45,25 @@ func (c *Ctx) TryHoist(op *ir.Op, commit bool) Block {
 	sib := v.Sibling()
 
 	// Double definition on a newly shared path: the sibling subtree or
-	// the root path above the parent already commits d.
-	if blk := findDef(sib, d, op); blk.Kind != BlockNone {
-		return blk
+	// the root path above the parent already commits d. The sibling walk
+	// is filtered by its subtree def summary — exact here, since op
+	// itself never sits under the sibling: a miss proves no definition,
+	// a hit guarantees findDef identifies the blocker.
+	if d != ir.NoReg && sib.SubtreeDefines(d) {
+		if blk := findDef(sib, d, op); blk.Kind != BlockNone {
+			return blk
+		}
+	} else if c.CrossCheck {
+		if blk := findDef(sib, d, op); blk.Kind != BlockNone {
+			panic(fmt.Sprintf("ps: summary filter missed a sibling definition of r%d hoisting %v", d, op))
+		}
 	}
 	for a := parent; a != nil; a = a.Parent() {
+		if d == ir.NoReg || !a.DefinesHere(d) {
+			continue // O(1) summary read replaces the op-list scan
+		}
 		for _, p := range a.Ops {
-			if p != op && d != ir.NoReg && p.Def() == d {
+			if p != op && p.Def() == d {
 				return Block{Kind: BlockDep, By: p}
 			}
 		}
@@ -57,7 +71,13 @@ func (c *Ctx) TryHoist(op *ir.Op, commit bool) Block {
 
 	// Write-live on the sibling side.
 	if deps.LiveOnSubtree(c.G, sib, d, c.ExitLive) {
+		if c.CrossCheck && !deps.LiveOnSubtreeReference(c.G, sib, d, c.ExitLive) {
+			panic(fmt.Sprintf("ps: summary liveness diverged (live) for r%d hoisting %v", d, op))
+		}
 		return Block{Kind: BlockDep}
+	}
+	if c.CrossCheck && deps.LiveOnSubtreeReference(c.G, sib, d, c.ExitLive) {
+		panic(fmt.Sprintf("ps: summary liveness diverged (dead) for r%d hoisting %v", d, op))
 	}
 
 	if !commit {

@@ -42,31 +42,26 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 	}
 
 	// Dependence scan: the jump's condition registers must not be
-	// produced on the target path (modulo copy propagation).
+	// produced on the target path (modulo copy propagation). A branch
+	// has no destination and no memory reference, so the shared
+	// committed-path scan reduces to exactly this check, and the same
+	// summary filter applies: when the target tree defines none of the
+	// condition registers the walk is skipped. Stack-buffer bounds as in
+	// TryMoveOpUp: ≤2 condition registers (TestOpUsesBufferBound), 8
+	// copy-propagation hops before the rewrite list falls back to heap
+	// growth (TestRewriteBufferOverflowsCorrectly).
 	var useBuf [3]ir.Reg
 	uses := cj.Uses(useBuf[:0])
-	var rwBuf [4]rewrite
+	var rwBuf [8]rewrite
 	rewrites := rwBuf[:0]
-	block := blockNone
-	pathOps(leaf, func(p *ir.Op) bool {
-		if d := p.Def(); d != ir.NoReg {
-			for i, u := range uses {
-				if u != d {
-					continue
-				}
-				if p.IsCopy() {
-					uses[i] = p.Src[0]
-					rewrites = append(rewrites, rewrite{from: d, to: p.Src[0]})
-					continue
-				}
-				block = Block{Kind: BlockDep, By: p}
-				return false
-			}
+	if pathScanNeeded(t, cj, uses) {
+		var block Block
+		block, uses, rewrites = scanCommittedPath(leaf, cj, nil, uses, rewrites)
+		if block.Kind != BlockNone {
+			return block
 		}
-		return true
-	}, nil)
-	if block.Kind != BlockNone {
-		return block
+	} else if c.CrossCheck {
+		c.crossCheckPathMiss(t, leaf, cj, nil)
 	}
 
 	if !commit {
@@ -74,7 +69,7 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 	}
 	if len(rewrites) > 0 {
 		for _, rw := range rewrites {
-			cj.ReplaceUse(rw.from, rw.to)
+			c.G.ReplaceUse(cj, rw.from, rw.to)
 		}
 		c.noteRewrite(cj)
 	}

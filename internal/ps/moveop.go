@@ -1,6 +1,8 @@
 package ps
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 	"repro/internal/ir"
 )
@@ -44,13 +46,101 @@ func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
 		return blk
 	}
 
-	// Dependence scan along the committed path of the target node. The
-	// rewrite list lives in a stack buffer: probe calls (commit=false,
-	// the Gapless-move test's canFill) must not allocate.
+	// Dependence scan along the committed path of the target node,
+	// filtered by the target instruction's def/use summary: when none of
+	// op's reads or its def appear in the tree's def set and (for memory
+	// ops) the tree holds no store, no path op can conflict and no copy
+	// can rewrite an operand, so the register-by-register walk is
+	// skipped outright (DESIGN.md §7 argues soundness; almost every
+	// probe lands here). Both scratch lists live in stack buffers: probe
+	// calls (commit=false, the Gapless-move test's canFill) must not
+	// allocate. Bounds: no op kind reads more than 2 registers
+	// (TestOpUsesBufferBound), and each rewrite is one copy-propagation
+	// hop, so 8 covers any chain the schedulers build; a longer chain
+	// overflows into a correct heap append, it is just no longer free
+	// (TestRewriteBufferOverflowsCorrectly).
 	var useBuf [3]ir.Reg
 	uses := op.Uses(useBuf[:0])
-	var rwBuf [4]rewrite
+	var rwBuf [8]rewrite
 	rewrites := rwBuf[:0]
+	if pathScanNeeded(t, op, uses) {
+		var block Block
+		block, uses, rewrites = scanCommittedPath(leaf, op, excluding, uses, rewrites)
+		if block.Kind != BlockNone {
+			return block
+		}
+	} else if c.CrossCheck {
+		c.crossCheckPathMiss(t, leaf, op, excluding)
+	}
+
+	// Move-past-read: a reader of op's target remaining in the source
+	// node would observe the new value instead of the old one (reads
+	// happen at entry). Renaming can remove this. The memory analogue:
+	// a store may not move above an aliasing load left behind.
+	if blk := c.scanMovePastRead(n, op, excluding); blk.Kind != BlockNone {
+		return blk
+	}
+
+	// Resources: every op in the tree occupies a functional unit.
+	target := t.OpCount() + 1
+	if excluding != nil && !excluding.IsBranch() && c.G.NodeOf(excluding) == t {
+		target--
+	}
+	if !c.M.FitsOps(target) {
+		return Block{Kind: BlockResource}
+	}
+
+	if !commit {
+		return blockNone
+	}
+	if len(rewrites) > 0 {
+		for _, rw := range rewrites {
+			c.G.ReplaceUse(op, rw.from, rw.to)
+		}
+		c.noteRewrite(op)
+	}
+	c.G.MoveOp(op, leaf)
+	c.Moves++
+	if n.Empty() {
+		if c.G.SpliceOutEmpty(n) {
+			c.Splices++
+		}
+	}
+	return blockNone
+}
+
+// pathScanNeeded is the summary filter for the committed-path dependence
+// scan: it reports whether the target instruction t could hold a
+// conflicting or copy-propagating operation for op. A false answer is a
+// proof of absence — the summary's def set covers every operation in
+// t's tree (a superset of any root→leaf path), and its store count
+// covers every store — so the caller may skip the walk and keep the
+// empty rewrite list. A true answer only means "walk and find out".
+func pathScanNeeded(t *graph.Node, op *ir.Op, uses []ir.Reg) bool {
+	root := t.Root
+	for _, u := range uses {
+		if root.SubtreeDefines(u) {
+			return true
+		}
+	}
+	if d := op.Def(); d != ir.NoReg && root.SubtreeDefines(d) {
+		return true
+	}
+	// op.Mem non-zero ⇒ op is the load or store of the scan's memory
+	// ordering test; any store in the tree forces the walk.
+	if !op.Mem.IsZero() && root.SubtreeStores() {
+		return true
+	}
+	return false
+}
+
+// scanCommittedPath is the reference dependence scan: register-by-
+// register over every operation committed on the root→leaf path of the
+// target node, collecting copy-propagation rewrites. It returns the
+// blocking verdict plus the (possibly rewritten) use list and rewrite
+// list. Retained in full as the fallback for summary hits and as the
+// cross-checked reference implementation.
+func scanCommittedPath(leaf *graph.Vertex, op, excluding *ir.Op, uses []ir.Reg, rewrites []rewrite) (Block, []ir.Reg, []rewrite) {
 	block := blockNone
 	pathOps(leaf, func(p *ir.Op) bool {
 		if p == excluding || p == op {
@@ -87,47 +177,45 @@ func (c *Ctx) TryMoveOpUp(op *ir.Op, commit bool, excluding *ir.Op) Block {
 		}
 		return true
 	}, nil)
-	if block.Kind != BlockNone {
-		return block
-	}
-
-	// Move-past-read: a reader of op's target remaining in the source
-	// node would observe the new value instead of the old one (reads
-	// happen at entry). Renaming can remove this. The memory analogue:
-	// a store may not move above an aliasing load left behind.
-	if blk := c.scanMovePastRead(n, op, excluding); blk.Kind != BlockNone {
-		return blk
-	}
-
-	// Resources: every op in the tree occupies a functional unit.
-	target := t.OpCount() + 1
-	if excluding != nil && !excluding.IsBranch() && c.G.NodeOf(excluding) == t {
-		target--
-	}
-	if !c.M.FitsOps(target) {
-		return Block{Kind: BlockResource}
-	}
-
-	if !commit {
-		return blockNone
-	}
-	if len(rewrites) > 0 {
-		for _, rw := range rewrites {
-			op.ReplaceUse(rw.from, rw.to)
-		}
-		c.noteRewrite(op)
-	}
-	c.G.MoveOp(op, leaf)
-	c.Moves++
-	if n.Empty() {
-		if c.G.SpliceOutEmpty(n) {
-			c.Splices++
-		}
-	}
-	return blockNone
+	return block, uses, rewrites
 }
 
+// crossCheckPathMiss verifies a summary miss against the reference
+// scan: it must find neither a block nor a rewrite. Runs only under
+// Ctx.CrossCheck; a divergence is a summary-maintenance bug, reported
+// by panic exactly like a failed graph invariant.
+func (c *Ctx) crossCheckPathMiss(t *graph.Node, leaf *graph.Vertex, op, excluding *ir.Op) {
+	var useBuf [3]ir.Reg
+	uses := op.Uses(useBuf[:0])
+	var rwBuf [8]rewrite
+	block, _, rw := scanCommittedPath(leaf, op, excluding, uses, rwBuf[:0])
+	if block.Kind != BlockNone || len(rw) != 0 {
+		panic(fmt.Sprintf("ps: summary filter missed a path conflict moving %v into n%d (block %v, %d rewrites)",
+			op, t.ID, block.Kind, len(rw)))
+	}
+}
+
+// scanMovePastRead checks for readers of op's target register (or, for
+// a store, aliasing loads) left behind in the source node. The walk is
+// filtered by the node's read summary and load count: a miss proves no
+// vertex holds a reader, so the vertex-by-vertex scan is skipped.
 func (c *Ctx) scanMovePastRead(n *graph.Node, op *ir.Op, excluding *ir.Op) Block {
+	d := op.Def()
+	if !(d != ir.NoReg && n.Root.SubtreeReads(d)) && !(op.IsStore() && n.Root.SubtreeLoads()) {
+		if c.CrossCheck {
+			if blk := scanMovePastReadReference(n, op, excluding); blk.Kind != BlockNone {
+				panic(fmt.Sprintf("ps: summary filter missed a move-past-read conflict for %v in n%d (blocked by %v)",
+					op, n.ID, blk.By))
+			}
+		}
+		return blockNone
+	}
+	return scanMovePastReadReference(n, op, excluding)
+}
+
+// scanMovePastReadReference is the retained full scan over every vertex
+// of the source node.
+func scanMovePastReadReference(n *graph.Node, op *ir.Op, excluding *ir.Op) Block {
 	d := op.Def()
 	block := blockNone
 	n.Walk(func(v *graph.Vertex) {

@@ -82,6 +82,16 @@ type Ctx struct {
 	// its precomputed bit-matrices know which ops went stale.
 	D *deps.DDG
 
+	// CrossCheck runs the retained reference dependence scans next to
+	// every summary-filtered fast path — the committed-path scan, the
+	// move-past-read scan, the hoist double-definition scan, and the
+	// write-live test — and panics on the first divergence (a
+	// summary-maintenance bug, on par with a corrupted graph
+	// invariant). A testing hook: it cannot change any verdict, only
+	// verify it. core.Options.CrossCheck switches it on for the
+	// duration of a scheduling run.
+	CrossCheck bool
+
 	// Stats.
 	Moves   int // successful move-op steps
 	Hoists  int // successful speculation hoists
@@ -129,7 +139,10 @@ func (c *Ctx) predLeaf(n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
 func pathOps(leaf *graph.Vertex, f func(*ir.Op) bool, fb func(*ir.Op) bool) bool {
 	// Collect root -> leaf chain. Instruction trees are shallow (depth
 	// bounded by the branch-slot budget), so the stack buffer makes the
-	// per-step scan allocation-free.
+	// per-step scan allocation-free under every paper machine. An
+	// unlimited-branch machine can exceed 8 vertices; the append then
+	// grows onto the heap with nothing dropped
+	// (TestPathOpsDeepTreeOverflowsCorrectly).
 	var buf [8]*graph.Vertex
 	chain := buf[:0]
 	for v := leaf; v != nil; v = v.Parent() {

@@ -48,7 +48,10 @@ func (c *Ctx) TryMoveOpUpRenamed(op *ir.Op) Block {
 		Dst:    d,
 		Src:    [2]ir.Reg{r},
 	}
-	op.Dst = r
+	// Retarget through the graph so the def/use summaries see the new
+	// destination (a bare op.Dst assignment on a placed op is now a
+	// summary-desync bug that Validate catches).
+	c.G.RetargetDef(op, r)
 	// The retarget invalidates op's rows in any precomputed dependence
 	// matrix; the mark stays even if the move below is reverted
 	// (conservative, never stale).
@@ -64,7 +67,7 @@ func (c *Ctx) TryMoveOpUpRenamed(op *ir.Op) Block {
 	}
 	// Still blocked (a source dependence or full target): revert.
 	c.G.RemoveOp(compensation)
-	op.Dst = d
+	c.G.RetargetDef(op, d)
 	c.Renames--
 	return blk
 }
