@@ -16,8 +16,18 @@
 // -cache-dir attaches a persistent metrics tier: every computed cell
 // is written through to disk, and a later process serves it from there
 // — a warm rerun schedules nothing. -cache-clear wipes that tier
-// before running; cache statistics (memory hits / disk hits / misses /
-// bytes on disk) print to stderr at exit.
+// before running (refusing directories not shaped like a store); cache
+// statistics — hits, misses, quarantined panics, disk footprint and
+// health (write/read errors, retries, degraded operations, breaker
+// state) — print to stderr at exit.
+//
+// -chaos runs the matrix under a seeded fault schedule (injected
+// backend panics, compute errors, torn and failing disk writes,
+// failing reads, random cancellations) and verifies the engine's
+// fault-tolerance contract: surviving cells are exact, failures are
+// isolated and recompute clean afterwards, and the disk tier's circuit
+// breaker trips and recovers. With -bench-out it writes the surviving
+// cells only, for benchdiff against the fault-free baseline.
 //
 // Usage:
 //
@@ -26,6 +36,7 @@
 //	                    [-config unwind=24,gap=false] [-sweep-unwind 0,12,24,48]
 //	                    [-sweep-gap] [-cache-dir .gripcache] [-cache-clear]
 //	                    [-timeout 5m] [-bench-out BENCH_table1.json]
+//	                    [-chaos] [-chaos-seed 42]
 package main
 
 import (
@@ -39,6 +50,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/harness"
 	"repro/internal/livermore"
 	"repro/internal/machine"
@@ -75,7 +87,12 @@ func run() int {
 			"from disk by later runs against the same directory")
 	cacheClear := flag.Bool("cache-clear", false, "wipe the disk cache tier before running (requires -cache-dir)")
 	timeout := flag.Duration("timeout", 0, "per-cell timeout (0 = none)")
-	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file")
+	chaos := flag.Bool("chaos", false,
+		"run the matrix under the seeded chaos fault schedule (injected panics, compute\n"+
+			"errors, torn/failing disk writes, failing reads, random cancellations); surviving\n"+
+			"cells must stay bit-identical, failures are rerun clean afterwards")
+	chaosSeed := flag.Int64("chaos-seed", 42, "seed for the chaos fault schedule (with -chaos)")
+	benchOut := flag.String("bench-out", "", "write a JSON bench report (per-cell wall time + speedups) to this file\n(with -chaos: surviving cells only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -155,6 +172,23 @@ func run() int {
 	if *cacheClear && *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "-cache-clear requires -cache-dir")
 		return 2
+	}
+	if *chaos {
+		if *sweepFlag != "" || *sweepGap || *validate {
+			fmt.Fprintln(os.Stderr, "-chaos does not compose with -sweep-unwind/-sweep-gap/-validate")
+			return 2
+		}
+		if *cacheClear {
+			d, err := store.OpenDisk(*cacheDir)
+			if err == nil {
+				err = d.Clear()
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		return runChaos(kernels, fus, techniques, *chaosSeed, *parallel, *timeout, *cacheDir, *benchOut)
 	}
 	var disk *store.Disk
 	if *cacheDir != "" {
@@ -249,7 +283,7 @@ func run() int {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d cells, %.1fs wall)\n", *benchOut, len(outcomes), elapsed.Seconds())
 	}
-	printCacheStats(opts.Cache, disk != nil)
+	printCacheStats(opts.Cache.Stats(), disk != nil)
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)
 		return 1
@@ -278,11 +312,13 @@ func run() int {
 
 // printCacheStats reports the tiered cache's traffic at exit: where
 // hits came from, how much was computed, and — when a disk tier is
-// attached — what the persistent tier now holds.
-func printCacheStats(c *batch.Cache, diskAttached bool) {
-	st := c.Stats()
+// attached — what the persistent tier now holds and how healthy it is.
+func printCacheStats(st batch.CacheStats, diskAttached bool) {
 	fmt.Fprintf(os.Stderr, "cache: %d memory hits, %d disk hits, %d misses",
 		st.MemoryHits, st.DiskHits, st.Misses)
+	if st.Quarantined > 0 {
+		fmt.Fprintf(os.Stderr, ", %d quarantined panics", st.Quarantined)
+	}
 	if diskAttached {
 		fmt.Fprintf(os.Stderr, "; disk tier: %d entries, %d bytes", st.Disk.Entries, st.Disk.Bytes)
 		if st.Disk.Rejected > 0 {
@@ -291,8 +327,78 @@ func printCacheStats(c *batch.Cache, diskAttached bool) {
 		if st.Disk.WriteErrors > 0 {
 			fmt.Fprintf(os.Stderr, ", %d write errors", st.Disk.WriteErrors)
 		}
+		if st.Disk.ReadErrors > 0 {
+			fmt.Fprintf(os.Stderr, ", %d read errors", st.Disk.ReadErrors)
+		}
+		if st.Disk.Retries > 0 {
+			fmt.Fprintf(os.Stderr, ", %d retries", st.Disk.Retries)
+		}
+		if st.Disk.Degraded > 0 {
+			fmt.Fprintf(os.Stderr, ", %d degraded ops", st.Disk.Degraded)
+		}
+		if st.Disk.BreakerTrips > 0 || st.Disk.Breaker != "closed" {
+			fmt.Fprintf(os.Stderr, ", breaker %s (%d trips)", st.Disk.Breaker, st.Disk.BreakerTrips)
+		}
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// runChaos is the -chaos mode: the matrix under the standard seeded
+// fault schedule, reported in terms of the fault-tolerance contract —
+// survivors exact, failures isolated and recomputable, breaker tripped
+// and recovered. The bench report (when requested) holds survivors
+// only, so benchdiff compares them against the fault-free baseline
+// without treating the injected failures as regressions.
+func runChaos(kernels []*livermore.Kernel, fus []int, techniques []string, seed int64, parallel int, timeout time.Duration, cacheDir, benchOut string) int {
+	opts := harness.DefaultChaos(seed)
+	opts.Parallelism = parallel
+	opts.Timeout = timeout
+	opts.DiskDir = cacheDir
+
+	start := time.Now()
+	rep, err := harness.ChaosTable(context.Background(), kernels, fus, techniques, opts)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	survivors := rep.Survivors()
+	fmt.Printf("chaos seed %d: %d cells, %d survived, %d failed (%d quarantined panics, %d cancelled); %d cells cancelled in the storm pass\n",
+		seed, rep.Stats.Jobs, rep.Stats.Succeeded, rep.Stats.Failed,
+		rep.Stats.Quarantined, rep.Stats.Cancelled, batch.Summarize(rep.CancelOutcomes).Cancelled)
+	fmt.Printf("chaos fires: compute=%d disk-write=%d disk-read=%d disk-open=%d\n",
+		rep.Plan.Fires(faults.BatchCompute), rep.Plan.Fires(faults.DiskWrite),
+		rep.Plan.Fires(faults.DiskRead), rep.Plan.Fires(faults.DiskOpen))
+
+	recovered := 0
+	for _, o := range rep.Recovered {
+		if o.Err == nil {
+			recovered++
+		}
+	}
+	fmt.Printf("chaos recovery: %d/%d failed cells recomputed clean with faults disabled\n", recovered, len(rep.Recovered))
+	printCacheStats(rep.Cache, rep.Disk != nil)
+
+	if benchOut != "" {
+		if err := writeBench(benchOut, survivors, parallel, elapsed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d surviving cells, %.1fs wall)\n", benchOut, len(survivors), elapsed.Seconds())
+	}
+
+	// The contract, enforced: every failure recovers, and an attached
+	// disk tier ends with its breaker closed.
+	if recovered != len(rep.Recovered) {
+		fmt.Fprintln(os.Stderr, "chaos: some failed cells did not recover")
+		return 1
+	}
+	if rep.Disk != nil && rep.Cache.Disk.Breaker != "closed" {
+		fmt.Fprintf(os.Stderr, "chaos: disk breaker ended %s, want closed\n", rep.Cache.Disk.Breaker)
+		return 1
+	}
+	return 0
 }
 
 // joinLabel composes sweep-dimension labels ("unwind=24 gap=off").

@@ -1,0 +1,236 @@
+// Package faults is a small injectable failure-point registry: named
+// sites in production code call Check/CheckCtx/Mutate, which are no-ops
+// until a test or chaos harness enables a Plan — a seeded deterministic
+// schedule of fault rules (error on the Nth hit, every-Nth, per-hit
+// probability, latency injection, panics, payload corruption).
+//
+// Cost when disabled: one atomic pointer load per site hit — no
+// allocation, no lock — so sites can sit on paths that care about
+// performance. The scheduler's inner loops carry no sites at all; only
+// the batch engine's compute path and the disk store's open/read/write
+// paths are instrumented.
+//
+// Enabling a plan is process-wide. Tests that enable one must Disable
+// it before finishing (t.Cleanup) and must not run in parallel with
+// tests that expect a fault-free process.
+package faults
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Site names one instrumented failure point.
+type Site string
+
+// The instrumented sites. A Rule naming any other site is legal (the
+// registry is open) but will never fire until code calls hooks with
+// that name.
+const (
+	// DiskOpen guards store.OpenDisk's directory creation.
+	DiskOpen Site = "store.disk.open"
+	// DiskRead guards the disk tier's entry reads.
+	DiskRead Site = "store.disk.read"
+	// DiskWrite guards the disk tier's entry writes; Corrupt rules here
+	// produce torn entries that the read-side verification must reject.
+	DiskWrite Site = "store.disk.write"
+	// BatchCompute guards the batch worker's compute path, inside the
+	// panic-recovery perimeter — Panic rules here exercise quarantine.
+	BatchCompute Site = "batch.compute"
+)
+
+// Rule is one injected failure. A rule fires on a hit when ANY enabled
+// trigger selects it (and Limit is not exhausted); effects then apply
+// in order: Delay, Panic, Corrupt/Err.
+type Rule struct {
+	Site Site
+
+	// Nth fires on exactly the Nth hit at the site (1-based). 0 disables.
+	Nth int
+	// Every fires on every Every-th hit at the site. 0 disables.
+	Every int
+	// Prob fires with this probability per hit, drawn from the plan's
+	// seeded generator. 0 disables.
+	Prob float64
+	// Limit caps the rule's total fires; 0 means unlimited.
+	Limit int
+
+	// Err is returned by Check/CheckCtx/Mutate when the rule fires.
+	Err error
+	// Panic, when non-empty, makes the hook panic instead of returning —
+	// the injected value identifies itself as a fault.
+	Panic string
+	// Corrupt, at data sites (Mutate), mutilates the payload instead of
+	// failing the operation: the write "succeeds" torn.
+	Corrupt bool
+	// Delay sleeps before the effect (pure latency when no other effect
+	// is set). CheckCtx waits ctx-aware and returns ctx.Err() early.
+	Delay time.Duration
+}
+
+type ruleState struct {
+	Rule
+	fires int
+}
+
+// Plan is one seeded, deterministic fault schedule. Trigger decisions
+// (hit counting, probability draws) derive from the seed; under
+// concurrent hits the per-hit ordering follows the goroutine
+// interleaving, so strict replay needs single-threaded traffic or
+// Nth/Every triggers.
+type Plan struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	bySite map[Site][]*ruleState
+	hits   map[Site]uint64
+	fires  map[Site]uint64
+}
+
+// NewPlan builds a plan from the rules, with all probabilistic triggers
+// drawn from a generator seeded by seed.
+func NewPlan(seed int64, rules ...Rule) *Plan {
+	p := &Plan{
+		rng:    rand.New(rand.NewSource(seed)),
+		bySite: make(map[Site][]*ruleState),
+		hits:   make(map[Site]uint64),
+		fires:  make(map[Site]uint64),
+	}
+	for _, r := range rules {
+		p.bySite[r.Site] = append(p.bySite[r.Site], &ruleState{Rule: r})
+	}
+	return p
+}
+
+// Hits returns how many times the site has been reached.
+func (p *Plan) Hits(site Site) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits[site]
+}
+
+// Fires returns how many injections actually triggered at the site.
+func (p *Plan) Fires(site Site) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fires[site]
+}
+
+// TotalFires returns the number of injections across all sites.
+func (p *Plan) TotalFires() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var n uint64
+	for _, f := range p.fires {
+		n += f
+	}
+	return n
+}
+
+// active is the process-wide enabled plan; nil means every hook is a
+// no-op after a single atomic load.
+var active atomic.Pointer[Plan]
+
+// Enable installs the plan process-wide. Passing nil disables.
+func Enable(p *Plan) {
+	if p == nil {
+		active.Store(nil)
+		return
+	}
+	active.Store(p)
+}
+
+// Disable removes the active plan; all hooks return to no-ops.
+func Disable() { active.Store(nil) }
+
+// Enabled reports whether a plan is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Check consults the active plan at site: nil when disabled or no rule
+// fires, the rule's error otherwise. Panic rules panic here.
+func Check(site Site) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	_, err := p.apply(context.Background(), site, nil)
+	return err
+}
+
+// CheckCtx is Check with ctx-aware latency injection: a Delay rule
+// waits on a timer or ctx.Done(), whichever comes first, returning
+// ctx.Err() when cancellation wins — so injected stalls cooperate with
+// per-job timeouts instead of parking workers past them.
+func CheckCtx(ctx context.Context, site Site) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	_, err := p.apply(ctx, site, nil)
+	return err
+}
+
+// Mutate is the data-site hook: it returns the payload to actually use
+// (possibly mutilated by a Corrupt rule) or an error. When disabled it
+// returns data unchanged.
+func Mutate(site Site, data []byte) ([]byte, error) {
+	p := active.Load()
+	if p == nil {
+		return data, nil
+	}
+	return p.apply(context.Background(), site, data)
+}
+
+// apply counts the hit, selects at most one firing rule, and applies
+// its effects.
+func (p *Plan) apply(ctx context.Context, site Site, data []byte) ([]byte, error) {
+	p.mu.Lock()
+	p.hits[site]++
+	n := p.hits[site]
+	var fired *Rule
+	for _, rs := range p.bySite[site] {
+		if rs.Limit > 0 && rs.fires >= rs.Limit {
+			continue
+		}
+		hit := (rs.Nth > 0 && n == uint64(rs.Nth)) ||
+			(rs.Every > 0 && n%uint64(rs.Every) == 0) ||
+			(rs.Prob > 0 && p.rng.Float64() < rs.Prob)
+		if hit {
+			rs.fires++
+			p.fires[site]++
+			fired = &rs.Rule
+			break
+		}
+	}
+	p.mu.Unlock()
+	if fired == nil {
+		return data, nil
+	}
+	if fired.Delay > 0 {
+		t := time.NewTimer(fired.Delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return data, ctx.Err()
+		}
+	}
+	if fired.Panic != "" {
+		panic(fmt.Sprintf("faults: injected panic at %s: %s", site, fired.Panic))
+	}
+	if fired.Corrupt && data != nil {
+		return mutilate(data), fired.Err
+	}
+	return data, fired.Err
+}
+
+// mutilate simulates a torn write: the payload's first half survives,
+// followed by garbage — never valid JSON, so read-side verification
+// must reject it.
+func mutilate(data []byte) []byte {
+	out := append([]byte(nil), data[:len(data)/2]...)
+	return append(out, "\x00torn-write"...)
+}

@@ -50,8 +50,12 @@ func SharedCache() *batch.Cache { return defaultCache }
 // scheduling anything. Call it during command setup, before batch
 // traffic. It returns the store so commands can report its stats or
 // clear it.
+//
+// The store is opened durable (fsync before and after the publishing
+// rename): -cache-dir runs are exactly the cross-process reuse case
+// where losing a committed entry to a crash costs a recompute.
 func EnableDiskCache(dir string) (*store.Disk, error) {
-	d, err := store.OpenDisk(dir)
+	d, err := store.OpenDiskOptions(dir, store.DiskOptions{Durable: true})
 	if err != nil {
 		return nil, err
 	}

@@ -13,10 +13,12 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/machine"
 	"repro/internal/sched"
@@ -181,7 +183,21 @@ func runOne(ctx context.Context, j Job, opts Options, cut *atomic.Bool) Outcome 
 		runCtx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		defer cancel()
 	}
-	compute := func() (*sched.Result, error) {
+	// The compute closure is the panic-isolation perimeter: a backend
+	// panic is recovered into a typed *sched.PanicError carrying the
+	// job key and stack, so one poisoned cell fails alone — the worker
+	// goroutine survives, the rest of the batch proceeds, and (through
+	// the cache) single-flight waiters receive the error instead of
+	// waiting on a flight that will never retire.
+	compute := func() (res *sched.Result, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				res, err = nil, &sched.PanicError{Key: j.Key(), Value: v, Stack: debug.Stack()}
+			}
+		}()
+		if err := faults.CheckCtx(runCtx, faults.BatchCompute); err != nil {
+			return nil, err
+		}
 		s, ok := sched.Lookup(j.Technique)
 		if !ok {
 			return nil, fmt.Errorf("batch: unknown technique %q (have %v)", j.Technique, sched.Names())

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -18,6 +17,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sched/batch"
 	"repro/internal/sched/store"
+	"repro/internal/testutil"
 )
 
 func tinyLoop(name string) *ir.LoopSpec {
@@ -248,6 +248,7 @@ func TestConfigCachesIndependently(t *testing.T) {
 }
 
 func TestCancellationMidBatch(t *testing.T) {
+	testutil.LeakCheck(t)
 	stubs()
 	ctx, cancel := context.WithCancel(context.Background())
 	var jobs []batch.Job
@@ -331,7 +332,7 @@ func TestTimeoutStopsRealScheduler(t *testing.T) {
 		},
 		Step: 1, TripVar: "n",
 	}
-	baseline := runtime.NumGoroutine()
+	testutil.LeakCheck(t)
 	jobs := []batch.Job{{
 		Technique: "grip", Spec: spec, Machine: machine.New(2),
 		Config: sched.Config{Unwind: 96},
@@ -345,15 +346,6 @@ func TestTimeoutStopsRealScheduler(t *testing.T) {
 	}
 	if outs[0].Result != nil {
 		t.Error("timed-out job returned a result")
-	}
-	// No goroutine may outlive the run. Poll briefly: the runtime needs
-	// a moment to retire the worker goroutines Run already waited on.
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
-		time.Sleep(10 * time.Millisecond)
-	}
-	if g := runtime.NumGoroutine(); g > baseline {
-		t.Errorf("%d goroutines outlive the batch (baseline %d): scheduler work leaked", g, baseline)
 	}
 }
 

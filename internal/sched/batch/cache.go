@@ -2,6 +2,8 @@ package batch
 
 import (
 	"context"
+	"errors"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -55,9 +57,10 @@ func (t Tier) String() string {
 type Cache struct {
 	mem *store.Memory
 
-	memHits  atomic.Uint64
-	diskHits atomic.Uint64
-	misses   atomic.Uint64
+	memHits     atomic.Uint64
+	diskHits    atomic.Uint64
+	misses      atomic.Uint64
+	quarantined atomic.Uint64
 
 	mu      sync.Mutex
 	disk    store.Store
@@ -225,12 +228,32 @@ func (c *Cache) fill(key string, want sched.Want, compute func() (*sched.Result,
 		}
 	}
 	c.misses.Add(1)
-	res, err := compute()
+	res, err := safeCompute(key, compute)
 	if err != nil {
+		var pe *sched.PanicError
+		if errors.As(err, &pe) {
+			c.quarantined.Add(1)
+		}
 		return nil, TierCompute, err
 	}
 	c.publish(key, res, disk)
 	return res, TierCompute, nil
+}
+
+// safeCompute runs the compute callback inside a panic-recovery
+// perimeter of its own: whatever the caller passed, a panicking compute
+// becomes a typed *sched.PanicError on the normal error path, so the
+// leader's flight always retires (waiters see the failure and retry)
+// instead of deadlocking everyone parked on its done channel. The batch
+// engine recovers at its own layer too and hands the PanicError down —
+// this perimeter is for everyone else who calls GetOrCompute directly.
+func safeCompute(key string, compute func() (*sched.Result, error)) (res *sched.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &sched.PanicError{Key: key, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return compute()
 }
 
 // Len returns the number of metrics entries in the memory tier.
@@ -247,18 +270,23 @@ type CacheStats struct {
 	MemoryHits uint64
 	DiskHits   uint64
 	Misses     uint64
-	// Disk carries the persistent tier's own counters and footprint;
-	// zero when no disk tier is attached.
+	// Quarantined counts computations this cache led that ended in a
+	// recovered backend panic (*sched.PanicError) — poisoned cells that
+	// failed alone instead of taking the process down.
+	Quarantined uint64
+	// Disk carries the persistent tier's own counters, footprint, and
+	// breaker health; zero when no disk tier is attached.
 	Disk store.Stats
 }
 
 // Stats returns the hit and miss counts since creation, plus the disk
-// tier's footprint when one is attached.
+// tier's footprint and health when one is attached.
 func (c *Cache) Stats() CacheStats {
 	st := CacheStats{
-		MemoryHits: c.memHits.Load(),
-		DiskHits:   c.diskHits.Load(),
-		Misses:     c.misses.Load(),
+		MemoryHits:  c.memHits.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Misses:      c.misses.Load(),
+		Quarantined: c.quarantined.Load(),
 	}
 	if disk := c.diskTier(); disk != nil {
 		st.Disk = disk.Stats()

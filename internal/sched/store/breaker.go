@@ -1,0 +1,127 @@
+package store
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the circuit's position.
+type breakerState int
+
+const (
+	// brClosed: healthy — every operation flows to disk.
+	brClosed breakerState = iota
+	// brOpen: tripped — the tier is degraded to memory-only; reads and
+	// writes are skipped until the cooldown elapses.
+	brOpen
+	// brHalfOpen: cooldown elapsed — one probe operation at a time is
+	// allowed through; success closes the circuit, failure reopens it
+	// and restarts the cooldown.
+	brHalfOpen
+)
+
+// breaker is the disk tier's circuit breaker. The failure signal is any
+// real I/O error (a write that exhausted its retries, or a read error
+// that is not a plain miss); the success signal is any fully completed
+// disk operation (a persisted Put, a verified read hit). Plain misses
+// and rejected-content entries are neutral: they indicate absent or
+// untrusted data, not a sick device, and must not flap the circuit.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive failures that trip closed → open
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	state       breakerState
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       uint64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allowWrite reports whether a write may proceed. In the open state it
+// transitions to half-open once the cooldown has elapsed and admits the
+// caller as the single probe; concurrent callers are shed until the
+// probe settles.
+func (b *breaker) allowWrite() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = brHalfOpen
+		b.probing = true
+		return true
+	case brHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	default:
+		return true
+	}
+}
+
+// allowRead reports whether a read may consult the disk. Reads are shed
+// only while the circuit is open inside its cooldown; in half-open they
+// flow freely (a verified hit doubles as a successful probe) — reads
+// never consume the single write-probe slot.
+func (b *breaker) allowRead() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == brOpen {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = brHalfOpen
+	}
+	return true
+}
+
+// success records a fully completed disk operation: the consecutive
+// failure run ends and a half-open circuit closes.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.consecutive = 0
+	b.state = brClosed
+}
+
+// failure records a real I/O failure: half-open reopens immediately
+// (the probe failed), closed opens once the consecutive run reaches the
+// threshold, and an already-open circuit restarts its cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	b.consecutive++
+	if b.state == brHalfOpen || b.state == brOpen || b.consecutive >= b.threshold {
+		if b.state != brOpen {
+			b.trips++
+		}
+		b.state = brOpen
+		b.openedAt = b.now()
+	}
+}
+
+// snapshot returns the state name and trip count for Stats.
+func (b *breaker) snapshot() (string, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brOpen:
+		return "open", b.trips
+	case brHalfOpen:
+		return "half-open", b.trips
+	default:
+		return "closed", b.trips
+	}
+}
