@@ -1,0 +1,141 @@
+package fuzzgen
+
+import (
+	"repro/internal/ir"
+)
+
+// Minimize greedily shrinks a failing loop spec while keep(candidate)
+// stays true — keep is the caller's oracle closure ("this candidate
+// still reproduces the failure"). Candidates that fail
+// ir.LoopSpec.Validate are skipped without consulting keep, so the
+// oracle only ever sees well-formed loops.
+//
+// The shrink passes, applied to fixpoint (every accepted change
+// restarts the sweep, standard delta-debugging discipline):
+//
+//  1. drop body operations (last to first, so consumers go before
+//     producers and a dependent chain peels off in one sweep);
+//  2. simplify surviving operations: binary ops to copies, immediates
+//     to 1, indirect references to affine, strided/offset references
+//     to the plain current element;
+//  3. drop live-out variables, then unreferenced live-ins;
+//  4. normalize the loop control (Start to 0, Step to 1).
+//
+// maxProbes bounds the total number of keep calls (each one typically
+// re-runs schedulers); Minimize returns the smallest reproducer found
+// within the budget and the number of probes spent. The input spec is
+// never mutated.
+func Minimize(spec *ir.LoopSpec, keep func(*ir.LoopSpec) bool, maxProbes int) (*ir.LoopSpec, int) {
+	best := spec.Clone()
+	probes := 0
+	try := func(cand *ir.LoopSpec) bool {
+		if probes >= maxProbes || cand.Validate() != nil {
+			return false
+		}
+		probes++
+		if keep(cand) {
+			best = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && probes < maxProbes; {
+		changed = false
+
+		// Pass 1: drop operations.
+		for i := len(best.Body) - 1; i >= 0; i-- {
+			cand := best.Clone()
+			cand.Body = append(cand.Body[:i:i], cand.Body[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		// Pass 2: simplify operations in place.
+		for i := 0; i < len(best.Body); i++ {
+			for _, simplify := range opSimplifiers {
+				cand := best.Clone()
+				if !simplify(&cand.Body[i]) {
+					continue
+				}
+				if try(cand) {
+					changed = true
+					break
+				}
+			}
+		}
+
+		// Pass 3: shrink the observable interface.
+		for i := len(best.LiveOut) - 1; i >= 0; i-- {
+			cand := best.Clone()
+			cand.LiveOut = append(cand.LiveOut[:i:i], cand.LiveOut[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+		for i := len(best.LiveIn) - 1; i >= 0; i-- {
+			cand := best.Clone()
+			cand.LiveIn = append(cand.LiveIn[:i:i], cand.LiveIn[i+1:]...)
+			if try(cand) {
+				changed = true
+			}
+		}
+
+		// Pass 4: normalize loop control.
+		if best.Start != 0 {
+			cand := best.Clone()
+			cand.Start = 0
+			if try(cand) {
+				changed = true
+			}
+		}
+		if best.Step != 1 {
+			cand := best.Clone()
+			cand.Step = 1
+			if try(cand) {
+				changed = true
+			}
+		}
+	}
+	return best, probes
+}
+
+// opSimplifiers are the in-place operation rewrites pass 2 attempts.
+// Each returns false when the op is already in the simpler form.
+var opSimplifiers = []func(op *ir.BodyOp) bool{
+	// Binary arithmetic to a copy of its first operand.
+	func(op *ir.BodyOp) bool {
+		switch op.Kind {
+		case ir.Add, ir.Sub, ir.Mul, ir.Div:
+			*op = ir.BodyOp{Kind: ir.Copy, Dst: op.Dst, A: op.A}
+			return true
+		}
+		return false
+	},
+	// Immediate operands to 1.
+	func(op *ir.BodyOp) bool {
+		if op.UseImm && op.Imm != 1 {
+			op.Imm = 1
+			return true
+		}
+		return false
+	},
+	// Indirect references to the plain affine current element.
+	func(op *ir.BodyOp) bool {
+		if op.Mem.IndexVar != "" {
+			op.Mem = ir.Aff(op.Mem.Array, 1, 0)
+			return true
+		}
+		return false
+	},
+	// Strided or offset affine references to the current element.
+	func(op *ir.BodyOp) bool {
+		if op.Mem.Array != "" && op.Mem.IndexVar == "" &&
+			(op.Mem.KCoef != 1 || op.Mem.Off != 0) {
+			op.Mem = ir.Aff(op.Mem.Array, 1, 0)
+			return true
+		}
+		return false
+	},
+}

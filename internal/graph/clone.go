@@ -28,6 +28,7 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	}
 	ng := &Graph{
 		Alloc:      alloc,
+		Label:      g.Label,
 		nodes:      make(map[*Node]bool, len(g.nodes)),
 		locs:       make([]opLoc, len(g.locs)),
 		version:    g.version,

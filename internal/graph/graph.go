@@ -26,6 +26,12 @@ type Graph struct {
 	Entry *Node
 	Alloc *ir.Alloc
 
+	// Label identifies the program for diagnostics (the source loop's
+	// name and fingerprint prefix, set by the unwinder). It has no
+	// structural meaning; the simulator stamps it into cycle-budget
+	// errors so fuzz-found livelocks are attributable from logs alone.
+	Label string
+
 	nodes map[*Node]bool
 
 	// locs maps op.ID -> location. Op IDs are dense (ir.Alloc hands

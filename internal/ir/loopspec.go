@@ -211,6 +211,19 @@ func (s *LoopSpec) CarriedVars() []string {
 	return carried
 }
 
+// Clone returns an independent deep copy of the spec: mutating the
+// copy's body or interface slices never affects the original. Specs are
+// treated as read-only throughout the scheduling stack, so Clone exists
+// for the few writers — the fuzz minimizer shrinks candidate copies
+// while the failing original stays intact for reporting.
+func (s *LoopSpec) Clone() *LoopSpec {
+	c := *s
+	c.Body = append([]BodyOp(nil), s.Body...)
+	c.LiveIn = append([]string(nil), s.LiveIn...)
+	c.LiveOut = append([]string(nil), s.LiveOut...)
+	return &c
+}
+
 // String renders the spec for debugging.
 func (s *LoopSpec) String() string {
 	var b strings.Builder

@@ -164,6 +164,7 @@ func Unwind(spec *ir.LoopSpec, u int) (*Unwound, error) {
 // copies) and the final continue edge to the last epilogue.
 func (u *Unwound) BuildGraph() *graph.Graph {
 	g := graph.New(u.Alloc)
+	g.Label = fmt.Sprintf("%s/%s", u.Spec.Name, u.Spec.Fingerprint()[:8])
 	u.G = g
 	var tail *graph.Node
 	for _, op := range u.Ops {

@@ -48,6 +48,15 @@ type Config struct {
 	Renaming bool
 	// Periods is the pattern-verification length; 0 means the default (3).
 	Periods int
+	// CrossCheck makes the pipelining backends run their retained
+	// reference implementations alongside every incremental fast path
+	// and panic on divergence (see pipeline.Config.CrossCheck). Like
+	// there, it cannot change the schedule, so it is excluded from
+	// Fingerprint — which also means a cached result may be served
+	// without the cross-check having run; fuzzing and verification
+	// harnesses that rely on it must run against fresh fingerprints or
+	// no cache.
+	CrossCheck bool
 }
 
 // Pipeline expands the override into a full pipeline.Config for machine
@@ -65,6 +74,7 @@ func (c Config) Pipeline(m machine.Machine) pipeline.Config {
 	if c.Periods > 0 {
 		cfg.Periods = c.Periods
 	}
+	cfg.CrossCheck = c.CrossCheck
 	return cfg
 }
 

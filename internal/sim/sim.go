@@ -15,6 +15,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -22,6 +23,12 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ir"
 )
+
+// ErrCycleBudget is wrapped into Run's budget error, so callers — the
+// fuzz harness classifying runaway schedules as livelocks rather than
+// mismatches — can test for it with errors.Is instead of string
+// matching.
+var ErrCycleBudget = errors.New("exceeded cycle budget")
 
 // Key addresses one memory cell.
 type Key struct {
@@ -114,7 +121,11 @@ func Run(g *graph.Graph, init *State, maxCycles int) (*Result, error) {
 	var writes []write
 	for n := g.Entry; n != nil; {
 		if res.Cycles >= maxCycles {
-			return nil, fmt.Errorf("sim: exceeded %d cycles at n%d", maxCycles, n.ID)
+			label := g.Label
+			if label == "" {
+				label = "unlabeled graph"
+			}
+			return nil, fmt.Errorf("sim: %s: %w of %d cycles at n%d", label, ErrCycleBudget, maxCycles, n.ID)
 		}
 		res.Cycles++
 		res.Visits[n.ID]++

@@ -1,15 +1,18 @@
 package sim
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/graph"
 	"repro/internal/ir"
+	"repro/internal/testutil"
 )
 
 func TestStraightLineExecution(t *testing.T) {
+	testutil.LeakCheck(t)
 	al := ir.NewAlloc()
 	g := graph.New(al)
 	r1, r2, r3 := al.Reg("r1"), al.Reg("r2"), al.Reg("r3")
@@ -36,6 +39,7 @@ func TestStraightLineExecution(t *testing.T) {
 }
 
 func TestParallelFetchSemantics(t *testing.T) {
+	testutil.LeakCheck(t)
 	// One instruction containing both "r2 = r1 + 1" and "r1 = 100":
 	// the add must read the OLD r1 (operands fetch at entry).
 	al := ir.NewAlloc()
@@ -61,6 +65,7 @@ func TestParallelFetchSemantics(t *testing.T) {
 }
 
 func TestParallelStoreLoadSameCell(t *testing.T) {
+	testutil.LeakCheck(t)
 	// A load and a store of the same cell in one instruction: the load
 	// reads the entry value of memory.
 	al := ir.NewAlloc()
@@ -117,6 +122,7 @@ func branchGraph(t *testing.T) (*graph.Graph, *ir.Alloc, ir.Reg, ir.Array) {
 }
 
 func TestBranchSelection(t *testing.T) {
+	testutil.LeakCheck(t)
 	g, _, r1, arr := branchGraph(t)
 	for _, c := range []struct {
 		r1   int64
@@ -135,6 +141,7 @@ func TestBranchSelection(t *testing.T) {
 }
 
 func TestPathConditionalCommit(t *testing.T) {
+	testutil.LeakCheck(t)
 	// An op attached to the true-side leaf vertex must not commit when
 	// the branch goes false (IBM VLIW: store only along selected path).
 	al := ir.NewAlloc()
@@ -161,19 +168,45 @@ func TestPathConditionalCommit(t *testing.T) {
 }
 
 func TestCycleLimit(t *testing.T) {
+	testutil.LeakCheck(t)
+	al := ir.NewAlloc()
+	g := graph.New(al)
+	g.Label = "selfloop/deadbeef"
+	n := g.NewNode()
+	g.Entry = n
+	g.RetargetLeaf(n.Root, n) // self loop
+	_, err := Run(g, NewState(), 50)
+	if err == nil {
+		t.Fatal("expected cycle-limit error")
+	}
+	// The budget error must be classifiable without string matching and
+	// must attribute the runaway program by its label — fuzz-found
+	// livelocks are triaged from CI logs alone.
+	if !errors.Is(err, ErrCycleBudget) {
+		t.Fatalf("error does not wrap ErrCycleBudget: %v", err)
+	}
+	for _, want := range []string{"selfloop/deadbeef", "exceeded", "50"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestCycleLimitUnlabeled(t *testing.T) {
+	testutil.LeakCheck(t)
 	al := ir.NewAlloc()
 	g := graph.New(al)
 	n := g.NewNode()
 	g.Entry = n
-	g.RetargetLeaf(n.Root, n) // self loop
-	if _, err := Run(g, NewState(), 50); err == nil {
-		t.Fatal("expected cycle-limit error")
-	} else if !strings.Contains(err.Error(), "exceeded") {
-		t.Fatalf("unexpected error: %v", err)
+	g.RetargetLeaf(n.Root, n)
+	_, err := Run(g, NewState(), 10)
+	if err == nil || !strings.Contains(err.Error(), "unlabeled graph") {
+		t.Fatalf("want unlabeled-graph budget error, got %v", err)
 	}
 }
 
 func TestEquivalence(t *testing.T) {
+	testutil.LeakCheck(t)
 	a, b := NewState(), NewState()
 	a.SetMem(1, 0, 5)
 	b.SetMem(1, 0, 5)
@@ -196,6 +229,7 @@ func TestEquivalence(t *testing.T) {
 }
 
 func TestStateCloneIsolation(t *testing.T) {
+	testutil.LeakCheck(t)
 	f := func(r uint8, v int64) bool {
 		s := NewState()
 		s.SetReg(ir.Reg(r)+1, v)
@@ -209,6 +243,7 @@ func TestStateCloneIsolation(t *testing.T) {
 }
 
 func TestDumpDeterminism(t *testing.T) {
+	testutil.LeakCheck(t)
 	s := NewState()
 	s.SetReg(2, 1)
 	s.SetReg(1, 2)

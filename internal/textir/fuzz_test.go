@@ -1,0 +1,54 @@
+package textir
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParse is the native fuzz target for the text format: any input
+// must either fail to parse or yield a valid spec that survives
+// Print -> Parse unchanged. Seeds come from the checked-in regression
+// corpus plus hand-picked edge shapes, so the mutator starts from
+// realistic loop text.
+func FuzzParse(f *testing.F) {
+	paths, _ := filepath.Glob(filepath.Join("..", "..", "testdata", "corpus", "*.loop"))
+	if len(paths) == 0 {
+		f.Fatal("no corpus seeds found; expected testdata/corpus/*.loop at the repo root")
+	}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	f.Add("loop x\ntrip n\nbody:\n  t0 = add k, 1\n")
+	f.Add("loop x\nlivein v\ntrip n\nbody:\n  t0 = load A[@v-1]\n  store B[-2*k+9] = t0\n")
+	f.Add("loop x\ntrip n\nstart -5\nstep -1\nbody:\n  store W[0] = k\n")
+	f.Add("# comment only\n")
+	f.Add("loop é\ntrip n\nbody:\n  t0 = div k, 0\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return // rejecting garbage is correct
+		}
+		// Accepted input: the spec must be well-formed and must
+		// round-trip exactly, or the corpus discipline breaks.
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("Parse accepted an invalid spec: %v\ninput:\n%s", err, src)
+		}
+		var b strings.Builder
+		Print(&b, spec)
+		again, err := Parse(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("printed form does not re-parse: %v\nprinted:\n%s\ninput:\n%s", err, b.String(), src)
+		}
+		if !reflect.DeepEqual(again, spec) {
+			t.Fatalf("Print/Parse not a fixpoint\nfirst:  %#v\nsecond: %#v\nprinted:\n%s", spec, again, b.String())
+		}
+	})
+}

@@ -87,6 +87,13 @@ func Parse(r io.Reader) (*ir.LoopSpec, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	// A name is required, not merely conventional: Print renders the
+	// name unconditionally, and "loop" with no operand does not parse —
+	// accepting a nameless spec here would break Parse∘Print round-trips
+	// (which the regression corpus depends on).
+	if spec.Name == "" {
+		return nil, fmt.Errorf("missing loop directive")
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,6 +121,12 @@ func parseBodyOp(line string) (ir.BodyOp, error) {
 	}
 	dst := strings.TrimSpace(parts[0])
 	rhs := strings.TrimSpace(parts[1])
+	// "store" cannot name a destination: a copy into it would print as
+	// "store = x", which re-parses as a malformed store statement
+	// (found by FuzzParse; the crasher is checked in under testdata).
+	if dst == "store" {
+		return ir.BodyOp{}, fmt.Errorf("%q is a reserved word, not a destination", dst)
+	}
 
 	// dst = load MEM
 	if strings.HasPrefix(rhs, "load ") {
