@@ -454,6 +454,11 @@ func parseConfig(s string) (sched.Config, error) {
 			cfg.NoGapPrevention = !b
 		case "renaming":
 			cfg.Renaming, err = strconv.ParseBool(val)
+		case "crosscheck":
+			// Verification only: runs the retained reference scans next
+			// to every summary-filtered fast path and panics on
+			// divergence. Cannot change any cell.
+			cfg.CrossCheck, err = strconv.ParseBool(val)
 		default:
 			return cfg, fmt.Errorf("unknown -config key %q", key)
 		}

@@ -153,9 +153,32 @@ type scheduler struct {
 	// amortized), memoized gapless verdicts by op index (from is always
 	// the op's home node), and memoized canFill probe results by
 	// (x, leaving) pair.
+	// fillMemo rows are allocated lazily per x (most ops are never the
+	// filler candidate of a canFill probe); a row spans the dense index
+	// space. Slice-backed rather than map-backed: the condition-4
+	// recursion hits this memo hard enough that map hashing showed up in
+	// the table1 profile. Rows are carved from memoChunk (bump-pointer,
+	// geometric refill) so a commit-heavy schedule pays a handful of
+	// allocations for them, not one per probed op.
 	frontiers []iterFrontier
 	gapMemo   []memoEntry
-	fillMemo  map[uint64]memoEntry
+	fillMemo  [][]memoEntry
+	memoChunk []memoEntry
+}
+
+// allocMemoRow carves a zeroed n-entry fillMemo row from the memo
+// chunk arena.
+func (s *scheduler) allocMemoRow(n int) []memoEntry {
+	if len(s.memoChunk) < n {
+		c := 8 * n
+		if c < 4096 {
+			c = 4096
+		}
+		s.memoChunk = make([]memoEntry, c)
+	}
+	row := s.memoChunk[:n:n]
+	s.memoChunk = s.memoChunk[n:]
+	return row
 }
 
 // Schedule runs GRiP over pctx.G. ops must contain every schedulable
@@ -251,7 +274,7 @@ func newScheduler(ctx context.Context, pctx *ps.Ctx, ops []*ir.Op, pri *deps.Pri
 	}
 	s.frontiers = make([]iterFrontier, maxIter+2)
 	s.gapMemo = make([]memoEntry, n)
-	s.fillMemo = make(map[uint64]memoEntry, 64)
+	s.fillMemo = make([][]memoEntry, n)
 	pri.Rank(s.pool)
 	s.initCandidates(n)
 	if opts.CrossCheck {

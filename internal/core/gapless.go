@@ -15,11 +15,22 @@ const maxGaplessDepth = 64
 // The stamp is the graph mutation counter (graph.Version): probes never
 // mutate the graph, so every verdict computed at one version stays
 // exact until the next committed transformation bumps it. See DESIGN.md
-// for the invalidation contract.
-type memoEntry struct {
-	ver     uint64
-	verdict int8 // 0 = unknown, 1 = holds, 2 = fails
+// for the invalidation contract. Packed ver<<2 | verdict into one word
+// — a struct with a separate int8 verdict pads to 16 bytes, doubling
+// the footprint of the full-width fillMemo rows. The zero value means
+// "unknown"; stored entries always carry a nonzero verdict.
+type memoEntry uint64
+
+func makeMemoEntry(ver uint64, holds bool) memoEntry {
+	e := memoEntry(ver<<2) | 2 // verdict 2 = fails
+	if holds {
+		e = memoEntry(ver<<2) | 1 // verdict 1 = holds
+	}
+	return e
 }
+
+func (e memoEntry) ver() uint64 { return uint64(e) >> 2 }
+func (e memoEntry) holds() bool { return uint64(e)&3 == 1 }
 
 // gaplessMove is the section 3.3 Gapless-move(From, To, Op) test: it
 // reports whether moving op up out of node from can be done without
@@ -55,17 +66,13 @@ func (s *scheduler) gapless(from *graph.Node, op *ir.Op, depth int) (bool, bool)
 	idx := op.Index
 	memoable := idx >= 0 && idx < len(s.gapMemo) && g.NodeOf(op) == from
 	if memoable {
-		if e := s.gapMemo[idx]; e.ver == g.Version() && e.verdict != 0 {
-			return e.verdict == 1, true
+		if e := s.gapMemo[idx]; e != 0 && e.ver() == g.Version() {
+			return e.holds(), true
 		}
 	}
 	ok, exact := s.gaplessEval(from, op, depth)
 	if memoable && (exact || ok) {
-		v := int8(2)
-		if ok {
-			v = 1
-		}
-		s.gapMemo[idx] = memoEntry{ver: g.Version(), verdict: v}
+		s.gapMemo[idx] = makeMemoEntry(g.Version(), ok)
 	}
 	return ok, exact || ok
 }
@@ -137,21 +144,21 @@ func (s *scheduler) findFiller(succ *graph.Node, op *ir.Op, depth int) (bool, bo
 // probes the same pairs many times through the condition-4 recursion.
 func (s *scheduler) canFill(x, leaving *ir.Op) bool {
 	g := s.ctx.G
-	memoable := x.Index >= 0 && leaving.Index >= 0
-	var key uint64
+	memoable := uint(x.Index) < uint(len(s.fillMemo)) &&
+		uint(leaving.Index) < uint(len(s.fillMemo))
+	var row []memoEntry
 	if memoable {
-		key = uint64(uint32(x.Index))<<32 | uint64(uint32(leaving.Index))
-		if e, ok := s.fillMemo[key]; ok && e.ver == g.Version() {
-			return e.verdict == 1
+		if row = s.fillMemo[x.Index]; row == nil {
+			row = s.allocMemoRow(len(s.fillMemo))
+			s.fillMemo[x.Index] = row
+		}
+		if e := row[leaving.Index]; e != 0 && e.ver() == g.Version() {
+			return e.holds()
 		}
 	}
 	ok := s.canFillEval(x, leaving)
 	if memoable {
-		v := int8(2)
-		if ok {
-			v = 1
-		}
-		s.fillMemo[key] = memoEntry{ver: g.Version(), verdict: v}
+		row[leaving.Index] = makeMemoEntry(g.Version(), ok)
 	}
 	return ok
 }

@@ -67,6 +67,12 @@ func Build(ops []*ir.Op) *DDG {
 	var useBuf [3]ir.Reg
 	for i, op := range ops {
 		op.Index = i
+		// Fill the op's cached Def/Uses view: from here on the operand
+		// fields only change through ReplaceUse/SetDst (the graph's
+		// rewrite entry points), which keep the cache exact, so every
+		// downstream legality probe reads cached fields instead of
+		// re-running the kind switch.
+		op.CacheOperands()
 		if r := op.Def(); r > maxReg {
 			maxReg = r
 		}

@@ -39,11 +39,13 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	// Count vertices (and per-iteration count slots, and def/use summary
 	// words) so every arena is sized exactly: growing an arena mid-build
 	// would move objects already pointed at.
-	nVertices, nIterSlots, nSumWords := 0, 0, 0
+	nVertices, nIterSlots, nSumWords, nDefSites, nStorePos := 0, 0, 0, 0, 0
 	for n := range g.nodes {
 		n.Walk(func(v *Vertex) {
 			nVertices++
 			nSumWords += v.sum.words()
+			nDefSites += len(v.sum.defSites)
+			nStorePos += len(v.sum.storePos)
 		})
 		nIterSlots += len(n.iterCounts)
 	}
@@ -53,6 +55,8 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	opPtrArena := make([]*ir.Op, 0, g.numPlaced)
 	iterArena := make([]int32, 0, nIterSlots)
 	sumArena := make([]uint64, nSumWords)
+	dsArena := make([]defSite, nDefSites)
+	spArena := make([]int32, nStorePos)
 
 	byID := make([]*ir.Op, len(g.locs))
 	cloneOp := func(op *ir.Op) *ir.Op {
@@ -64,6 +68,9 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 		}
 		opArena = append(opArena, *op)
 		c := &opArena[len(opArena)-1]
+		// The struct copy drags the source op's resident placement
+		// along; the clone is unplaced until setLoc registers it.
+		c.SetPlacement(nil)
 		byID[op.ID] = c
 		return c
 	}
@@ -73,7 +80,7 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 		nodeArena = append(nodeArena, Node{
 			ID: n.ID, Drain: n.Drain, pos: n.pos,
 			opCount: n.opCount, branchCount: n.branchCount,
-			schedCount: n.schedCount,
+			schedCount: n.schedCount, g: ng,
 		})
 		nc := &nodeArena[len(nodeArena)-1]
 		if len(n.iterCounts) > 0 {
@@ -94,7 +101,7 @@ func (g *Graph) Clone(alloc *ir.Alloc) (*Graph, []*ir.Op) {
 	cloneVertex = func(v *Vertex, n *Node, parent *Vertex) *Vertex {
 		vertexArena = append(vertexArena, Vertex{node: n, parent: parent})
 		nv := &vertexArena[len(vertexArena)-1]
-		sumArena = v.sum.cloneInto(&nv.sum, sumArena)
+		sumArena, dsArena, spArena = v.sum.cloneInto(&nv.sum, sumArena, dsArena, spArena)
 		if len(v.Ops) > 0 {
 			// Each vertex's op-pointer list is a capped sub-slice of one
 			// shared arena; a later append on the vertex re-allocates

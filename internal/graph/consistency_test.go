@@ -329,6 +329,33 @@ func TestRandomMutationsKeepCachesConsistent(t *testing.T) {
 					if got := v.SubtreeLoads(); got != loads {
 						t.Fatalf("n%d: SubtreeLoads() = %v, walk says %v", n.ID, got, loads)
 					}
+
+					// Path-prefix answers against the ancestor chain: the
+					// root→v path is v plus its parents, and only their own
+					// op lists (plus CJs, which define nothing and touch no
+					// memory) contribute.
+					pathDefs := map[ir.Reg]bool{}
+					pathStores, pathLoads := false, false
+					for a := v; a != nil; a = a.Parent() {
+						for _, op := range a.Ops {
+							if d := op.Def(); d != ir.NoReg {
+								pathDefs[d] = true
+							}
+							pathStores = pathStores || op.IsStore()
+							pathLoads = pathLoads || op.IsLoad()
+						}
+					}
+					for _, r := range regs {
+						if got, want := v.PathDefines(r), pathDefs[r]; got != want {
+							t.Fatalf("n%d: PathDefines(r%d) = %v, ancestor walk says %v", n.ID, r, got, want)
+						}
+					}
+					if got := v.PathStores(); got != pathStores {
+						t.Fatalf("n%d: PathStores() = %v, ancestor walk says %v", n.ID, got, pathStores)
+					}
+					if got := v.PathLoads(); got != pathLoads {
+						t.Fatalf("n%d: PathLoads() = %v, ancestor walk says %v", n.ID, got, pathLoads)
+					}
 				})
 			}
 		})

@@ -67,6 +67,8 @@ type Graph struct {
 	wordChunk   []uint64
 	iterChunk   []int32
 	opChunk     []*ir.Op
+	dsChunk     []defSite
+	spChunk     []int32
 
 	// iterSlots tracks 2 + the largest iteration index seen by AddOp /
 	// InsertBranchAtLeaf, so fresh nodes can pre-size their iterCounts
@@ -86,11 +88,15 @@ func New(alloc *ir.Alloc) *Graph {
 	}
 }
 
-// loc returns op's registered location, or nil.
+// loc returns op's registered location, or nil. It reads the
+// op-resident placement slot — a line the caller has usually just
+// touched — rather than the location table, which stays authoritative
+// for the census and Validate's reverse check. The owning-graph test
+// rejects placements held over from another graph (clone sources,
+// stale pointers into a discarded graph).
 func (g *Graph) loc(op *ir.Op) *Vertex {
-	id := op.ID
-	if uint(id) < uint(len(g.locs)) && g.locs[id].op == op {
-		return g.locs[id].v
+	if v, ok := op.Placement().(*Vertex); ok && v.node.g == g {
+		return v
 	}
 	return nil
 }
@@ -112,6 +118,7 @@ func (g *Graph) setLoc(op *ir.Op, v *Vertex) {
 		g.locs = grown
 	}
 	g.locs[id] = opLoc{op: op, v: v}
+	op.SetPlacement(v)
 	g.numPlaced++
 	if g.onOpHome != nil {
 		g.onOpHome(op)
@@ -123,6 +130,7 @@ func (g *Graph) clearLoc(op *ir.Op) {
 	id := op.ID
 	if uint(id) < uint(len(g.locs)) && g.locs[id].op == op {
 		g.locs[id] = opLoc{}
+		op.SetPlacement(nil)
 		g.numPlaced--
 		if g.onOpHome != nil {
 			g.onOpHome(op)
@@ -246,6 +254,7 @@ func (g *Graph) NewNode() *Node {
 	g.maxPos++
 	n := g.allocNode()
 	n.ID = g.nextNodeID
+	n.g = g
 	n.pos = g.maxPos
 	n.iterCounts = g.allocIterCounts()
 	n.Root = g.allocVertex()
@@ -382,6 +391,7 @@ func (g *Graph) AddOp(op *ir.Op, v *Vertex) {
 	g.setLoc(op, v)
 	g.noteIterSlot(op)
 	v.sum.addOp(op)
+	v.sum.indexOp(op, int32(len(v.Ops)-1))
 	resummarize(v)
 	if n := v.node; n != nil {
 		n.opCount++

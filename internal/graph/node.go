@@ -56,6 +56,12 @@ type Node struct {
 	// obtains a fresh epoch from Graph.BeginVisit and marks nodes with
 	// Visited instead of building a map.
 	seenEpoch uint64
+
+	// g is the owning graph, set at creation and never changed. The
+	// location fast path (Graph.loc) uses it to reject placements that
+	// belong to a different graph — an op cloned into a new graph, or
+	// queried against a graph it was never part of.
+	g *Graph
 }
 
 // Pos returns the node's order-maintenance key. Larger means later on

@@ -154,6 +154,9 @@ func (g *Graph) Validate() error {
 		if seenOps[e.op] != e.v {
 			return fmt.Errorf("loc for op %v points at stale vertex", e.op)
 		}
+		if pv, _ := e.op.Placement().(*Vertex); pv != e.v {
+			return fmt.Errorf("op %v resident placement disagrees with location table", e.op)
+		}
 	}
 	if registered != g.numPlaced {
 		return fmt.Errorf("graph: numPlaced %d, table holds %d", g.numPlaced, registered)
@@ -211,14 +214,15 @@ func checkEdgeSet(g *Graph, n *Node, s *edgeSet, want map[*Node]int, dir string)
 
 // checkSummaries cross-checks every vertex's incremental def/use
 // summary against a from-scratch recomputation: the own tier against
-// the vertex's op list, the sub tier against own ∪ children. Any
+// the vertex's op list, the sub tier against own ∪ children, and the
+// pre tier against parent's pre ∪ own (own alone at the root). Any
 // mutation path that forgets to resummarize — including operand
 // rewrites bypassing Graph.ReplaceUse/RetargetDef — surfaces here,
 // so every randomized test calling Validate inherits the invariant
 // the ps fast-path filters depend on.
 func checkSummaries(n *Node) error {
-	var check func(v *Vertex) (*summary, error)
-	check = func(v *Vertex) (*summary, error) {
+	var check func(v *Vertex, pre *summary) (*summary, error)
+	check = func(v *Vertex, pre *summary) (*summary, error) {
 		want := &summary{}
 		for _, op := range v.Ops {
 			want.addOp(op)
@@ -230,12 +234,39 @@ func checkSummaries(n *Node) error {
 			want.ownStores != v.sum.ownStores || want.ownLoads != v.sum.ownLoads {
 			return nil, fmt.Errorf("n%d: vertex own def/use summary out of sync", n.ID)
 		}
+		for i, op := range v.Ops {
+			want.indexOp(op, int32(i))
+		}
+		if len(want.defSites) != len(v.sum.defSites) || len(want.storePos) != len(v.sum.storePos) {
+			return nil, fmt.Errorf("n%d: vertex def/store site index out of sync", n.ID)
+		}
+		for i, e := range want.defSites {
+			if v.sum.defSites[i] != e {
+				return nil, fmt.Errorf("n%d: vertex def-site index out of sync at r%d", n.ID, e.reg)
+			}
+		}
+		for i, k := range want.storePos {
+			if v.sum.storePos[i] != k {
+				return nil, fmt.Errorf("n%d: vertex store-site index out of sync", n.ID)
+			}
+		}
+		if pre != nil {
+			want.preDefs.CopyFrom(&pre.preDefs)
+			want.preStores, want.preLoads = pre.preStores, pre.preLoads
+		}
+		want.preDefs.Or(&want.ownDefs)
+		want.preStores += want.ownStores
+		want.preLoads += want.ownLoads
+		if !want.preDefs.Equal(&v.sum.preDefs) ||
+			want.preStores != v.sum.preStores || want.preLoads != v.sum.preLoads {
+			return nil, fmt.Errorf("n%d: vertex path-prefix summary out of sync", n.ID)
+		}
 		want.subDefs.CopyFrom(&want.ownDefs)
 		want.subUses.CopyFrom(&want.ownUses)
 		want.subStores, want.subLoads = want.ownStores, want.ownLoads
 		if !v.IsLeaf() {
 			for _, c := range [2]*Vertex{v.True, v.False} {
-				cw, err := check(c)
+				cw, err := check(c, want)
 				if err != nil {
 					return nil, err
 				}
@@ -251,7 +282,7 @@ func checkSummaries(n *Node) error {
 		}
 		return want, nil
 	}
-	_, err := check(n.Root)
+	_, err := check(n.Root, nil)
 	return err
 }
 

@@ -3,8 +3,7 @@ package ir
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Fingerprint returns a canonical content hash of the loop spec. Two
@@ -15,25 +14,56 @@ import (
 // reports, and two same-bodied loops under different names are
 // different table rows.
 func (s *LoopSpec) Fingerprint() string {
-	var b strings.Builder
-	// Every identifier is %q-quoted so the encoding is unambiguous:
-	// names are arbitrary tokens, and bare delimiters would let e.g.
-	// LiveIn ["a,b"] collide with ["a", "b"].
-	fmt.Fprintf(&b, "loop|%q|start=%d|step=%d|trip=%q", s.Name, s.Start, s.Step, s.TripVar)
-	b.WriteString("|in=")
+	// Every identifier is quoted (strconv.AppendQuote, the exact %q
+	// encoding) so the result is unambiguous: names are arbitrary
+	// tokens, and bare delimiters would let e.g. LiveIn ["a,b"] collide
+	// with ["a", "b"]. Built with strconv appends instead of Fprintf —
+	// this runs once per kernel per table cell and the verb parsing was
+	// visible in the cold-table profile — byte-identical to the
+	// Fprintf encoding it replaces (TestFingerprintEncodingStable),
+	// which existing disk caches are keyed by.
+	b := make([]byte, 0, 256)
+	b = append(b, "loop|"...)
+	b = strconv.AppendQuote(b, s.Name)
+	b = append(b, "|start="...)
+	b = strconv.AppendInt(b, s.Start, 10)
+	b = append(b, "|step="...)
+	b = strconv.AppendInt(b, s.Step, 10)
+	b = append(b, "|trip="...)
+	b = strconv.AppendQuote(b, s.TripVar)
+	b = append(b, "|in="...)
 	for _, v := range s.LiveIn {
-		fmt.Fprintf(&b, "%q,", v)
+		b = strconv.AppendQuote(b, v)
+		b = append(b, ',')
 	}
-	b.WriteString("|out=")
+	b = append(b, "|out="...)
 	for _, v := range s.LiveOut {
-		fmt.Fprintf(&b, "%q,", v)
+		b = strconv.AppendQuote(b, v)
+		b = append(b, ',')
 	}
 	for _, op := range s.Body {
-		fmt.Fprintf(&b, "|%d;%q;%q;%q;%d;%t;%q;%d;%d;%q",
-			op.Kind, op.Dst, op.A, op.B, op.Imm, op.UseImm,
-			op.Mem.Array, op.Mem.KCoef, op.Mem.Off, op.Mem.IndexVar)
+		b = append(b, '|')
+		b = strconv.AppendUint(b, uint64(op.Kind), 10)
+		b = append(b, ';')
+		b = strconv.AppendQuote(b, op.Dst)
+		b = append(b, ';')
+		b = strconv.AppendQuote(b, op.A)
+		b = append(b, ';')
+		b = strconv.AppendQuote(b, op.B)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, op.Imm, 10)
+		b = append(b, ';')
+		b = strconv.AppendBool(b, op.UseImm)
+		b = append(b, ';')
+		b = strconv.AppendQuote(b, op.Mem.Array)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, op.Mem.KCoef, 10)
+		b = append(b, ';')
+		b = strconv.AppendInt(b, op.Mem.Off, 10)
+		b = append(b, ';')
+		b = strconv.AppendQuote(b, op.Mem.IndexVar)
 	}
-	sum := sha256.Sum256([]byte(b.String()))
+	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:16])
 }
 

@@ -1,6 +1,12 @@
 package ir
 
-import "testing"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+)
 
 func fpLoop() *LoopSpec {
 	return &LoopSpec{
@@ -33,6 +39,58 @@ func TestFingerprintDeterministicAndContentBased(t *testing.T) {
 		mutate(m)
 		if m.Fingerprint() == a.Fingerprint() {
 			t.Errorf("mutation did not change the fingerprint: %+v", m)
+		}
+	}
+}
+
+// fingerprintReference is the original fmt.Fprintf-based encoding the
+// strconv implementation replaced. Fingerprints key disk caches across
+// runs, so the encodings must stay byte-identical.
+func fingerprintReference(s *LoopSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "loop|%q|start=%d|step=%d|trip=%q", s.Name, s.Start, s.Step, s.TripVar)
+	b.WriteString("|in=")
+	for _, v := range s.LiveIn {
+		fmt.Fprintf(&b, "%q,", v)
+	}
+	b.WriteString("|out=")
+	for _, v := range s.LiveOut {
+		fmt.Fprintf(&b, "%q,", v)
+	}
+	for _, op := range s.Body {
+		fmt.Fprintf(&b, "|%d;%q;%q;%q;%d;%t;%q;%d;%d;%q",
+			op.Kind, op.Dst, op.A, op.B, op.Imm, op.UseImm,
+			op.Mem.Array, op.Mem.KCoef, op.Mem.Off, op.Mem.IndexVar)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// TestFingerprintEncodingStable pins the strconv-built fingerprint to
+// the fmt-built encoding it replaced, including specs exercising every
+// field, negative integers, quoting-sensitive identifiers, and an
+// immediate-form body op.
+func TestFingerprintEncodingStable(t *testing.T) {
+	specs := []*LoopSpec{
+		fpLoop(),
+		{Name: "empty"},
+		{
+			Name:    `q"uo\te` + "\n|;,",
+			Start:   -3,
+			Step:    -1,
+			TripVar: "n",
+			LiveIn:  []string{"a", `b"b`},
+			LiveOut: []string{"非ascii"},
+			Body: []BodyOp{
+				BAddI("x", "x", -42),
+				BStore(Aff("A", -2, -7), "x"),
+				BLoad("y", BodyRef{Array: "B", KCoef: 1, IndexVar: "x"}),
+			},
+		},
+	}
+	for _, s := range specs {
+		if got, want := s.Fingerprint(), fingerprintReference(s); got != want {
+			t.Errorf("spec %q: fingerprint %s, reference encoding %s", s.Name, got, want)
 		}
 	}
 }

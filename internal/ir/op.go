@@ -55,7 +55,37 @@ type Op struct {
 	// move-cj node splitting and live-out epilogue copies. They are
 	// still executed by the simulator.
 	Frozen bool
+
+	// Cached operand view (see CacheOperands): cDef is the Def()
+	// result and cUses[:cNU-1] the Uses() result, valid while cNU > 0.
+	// deps.Build fills the cache once analysis starts; until then Def
+	// and Uses derive from the operand fields on every call, so
+	// builders (the unwinder, the pre-graph Optimize pass, test and
+	// fuzz constructors) may assign fields freely. After the cache is
+	// filled, operand mutation must go through ReplaceUse/SetDst —
+	// the same routing rule the graph's def/use summaries already
+	// impose — which re-derive it. Clone's struct copy keeps the cache
+	// valid (identical fields ⇒ identical derivation).
+	cDef  Reg
+	cUses [3]Reg
+	cNU   int8
+
+	// loc is the op's current placement, owned and interpreted solely
+	// by package graph (held as any to avoid an import cycle). Keeping
+	// it on the op turns the scheduler's hottest query — "which vertex
+	// holds this op" — into a read of a cache line the caller already
+	// touched, instead of a random probe into a side table. Graph
+	// mutators keep it in sync with their location table; no other
+	// package may touch it.
+	loc any
 }
+
+// Placement returns the opaque placement slot maintained by package
+// graph. Use Graph.Where for the public placement query.
+func (o *Op) Placement() any { return o.loc }
+
+// SetPlacement stores the opaque placement slot. Package graph only.
+func (o *Op) SetPlacement(p any) { o.loc = p }
 
 // IsBranch reports whether the op is a conditional jump.
 func (o *Op) IsBranch() bool { return o.Kind == CJ }
@@ -70,8 +100,17 @@ func (o *Op) IsLoad() bool { return o.Kind == Load }
 // IsCopy reports whether the op is a register copy.
 func (o *Op) IsCopy() bool { return o.Kind == Copy }
 
-// Def returns the register the op writes, or NoReg.
+// Def returns the register the op writes, or NoReg. One load from the
+// operand cache when it is filled (deps.Build fills it; the legality
+// scans probe Def constantly).
 func (o *Op) Def() Reg {
+	if o.cNU > 0 {
+		return o.cDef
+	}
+	return o.deriveDef()
+}
+
+func (o *Op) deriveDef() Reg {
 	switch o.Kind {
 	case Store, CJ, Nop:
 		return NoReg
@@ -82,7 +121,28 @@ func (o *Op) Def() Reg {
 // Uses appends the registers the op reads to dst and returns it.
 // Operands are fetched in parallel at instruction entry, so the order is
 // irrelevant; Uses exists to avoid allocating in hot dependence tests.
+// Served from the operand cache when it is filled.
 func (o *Op) Uses(dst []Reg) []Reg {
+	if n := o.cNU; n > 0 {
+		return append(dst, o.cUses[:n-1]...)
+	}
+	return o.deriveUses(dst)
+}
+
+// UsesView returns the registers the op reads without copying when the
+// operand cache is filled: the returned slice aliases the cache and
+// MUST be treated as read-only — callers that rewrite operands in
+// place (the committed-path resolver's copy propagation) must detach
+// into their own buffer first. Falls back to deriving into scratch for
+// an uncached op.
+func (o *Op) UsesView(scratch []Reg) []Reg {
+	if n := o.cNU; n > 0 {
+		return o.cUses[:n-1]
+	}
+	return o.deriveUses(scratch)
+}
+
+func (o *Op) deriveUses(dst []Reg) []Reg {
 	switch o.Kind {
 	case Nop, Const:
 	case Copy:
@@ -110,13 +170,31 @@ func (o *Op) Uses(dst []Reg) []Reg {
 	return dst
 }
 
+// CacheOperands fills the op's cached Def/Uses view from the current
+// operand fields. deps.Build calls it for every analyzed op; from then
+// on the hot legality probes read two fields instead of re-running the
+// kind switch. Idempotent; safe to call at any time.
+func (o *Op) CacheOperands() {
+	o.cDef = o.deriveDef()
+	us := o.deriveUses(o.cUses[:0])
+	o.cNU = int8(len(us) + 1)
+}
+
 // ReadsReg reports whether the op reads register r.
 func (o *Op) ReadsReg(r Reg) bool {
 	if r == NoReg {
 		return false
 	}
+	if n := o.cNU; n > 0 {
+		for _, u := range o.cUses[:n-1] {
+			if u == r {
+				return true
+			}
+		}
+		return false
+	}
 	var buf [3]Reg
-	for _, u := range o.Uses(buf[:0]) {
+	for _, u := range o.deriveUses(buf[:0]) {
 		if u == r {
 			return true
 		}
@@ -124,8 +202,9 @@ func (o *Op) ReadsReg(r Reg) bool {
 	return false
 }
 
-// ReplaceUse substitutes register to for every read of from. Used by copy
-// propagation ("change the use of B into a use of X", paper section 2).
+// ReplaceUse substitutes register to for every read of from, keeping
+// the cached operand view exact. Used by copy propagation ("change the
+// use of B into a use of X", paper section 2).
 func (o *Op) ReplaceUse(from, to Reg) {
 	if from == NoReg {
 		return
@@ -154,6 +233,20 @@ func (o *Op) ReplaceUse(from, to Reg) {
 			o.Mem.IndexReg = to
 		}
 	}
+	if o.cNU > 0 {
+		o.CacheOperands()
+	}
+}
+
+// SetDst rewrites the op's destination register, keeping the cached
+// operand view exact. The renaming transformation's mutation; a placed
+// op's Dst must never be assigned directly (graph.RetargetDef routes
+// through here).
+func (o *Op) SetDst(r Reg) {
+	o.Dst = r
+	if o.cNU > 0 {
+		o.cDef = o.deriveDef()
+	}
 }
 
 // Clone returns a copy of the op with a new instance ID and the Frozen
@@ -165,6 +258,7 @@ func (o *Op) Clone(id int, frozen bool) *Op {
 	c.ID = id
 	c.Index = NoIndex
 	c.Frozen = frozen || o.Frozen
+	c.loc = nil // the clone starts unplaced
 	return &c
 }
 

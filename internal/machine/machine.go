@@ -84,9 +84,11 @@ func ParseFUs(s string) ([]int, error) {
 }
 
 // Fingerprint returns a canonical key for the machine configuration,
-// suitable for composing scheduling-result cache keys.
+// suitable for composing scheduling-result cache keys. strconv-built
+// (it runs in the per-cell cache-key path) but byte-identical to the
+// fmt encoding existing caches were keyed by.
 func (m Machine) Fingerprint() string {
-	return fmt.Sprintf("m|ops=%d|br=%d", m.OpSlots, m.BranchSlots)
+	return "m|ops=" + strconv.Itoa(m.OpSlots) + "|br=" + strconv.Itoa(m.BranchSlots)
 }
 
 // String describes the machine.

@@ -9,6 +9,7 @@ package pipeline
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/graph"
 	"repro/internal/ir"
@@ -133,13 +134,13 @@ func Unwind(spec *ir.LoopSpec, u int) (*Unwound, error) {
 				return nil, fmt.Errorf("pipeline: unsupported body op kind %v", b.Kind)
 			}
 			if b.Dst != "" {
-				op.Dst = al.Reg(fmt.Sprintf("%s.%d", b.Dst, iter))
+				op.Dst = al.Reg(b.Dst + "." + strconv.Itoa(iter))
 				env[b.Dst] = op.Dst
 			}
 			uw.Ops = append(uw.Ops, op)
 		}
 		// Loop control: k' = k + Step ; continue while k' < trip.
-		kNext := al.Reg(fmt.Sprintf("k.%d", iter+1))
+		kNext := al.Reg("k." + strconv.Itoa(iter+1))
 		inc := &ir.Op{ID: al.OpID(), Origin: len(spec.Body), Iter: iter,
 			Kind: ir.Add, Dst: kNext, Src: [2]ir.Reg{env[ir.CounterVar]}, Imm: spec.Step, BImm: true}
 		env[ir.CounterVar] = kNext
@@ -164,7 +165,7 @@ func Unwind(spec *ir.LoopSpec, u int) (*Unwound, error) {
 // copies) and the final continue edge to the last epilogue.
 func (u *Unwound) BuildGraph() *graph.Graph {
 	g := graph.New(u.Alloc)
-	g.Label = fmt.Sprintf("%s/%s", u.Spec.Name, u.Spec.Fingerprint()[:8])
+	g.Label = u.Spec.Name + "/" + u.Spec.Fingerprint()[:8]
 	u.G = g
 	var tail *graph.Node
 	for _, op := range u.Ops {

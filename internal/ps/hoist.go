@@ -58,13 +58,26 @@ func (c *Ctx) TryHoist(op *ir.Op, commit bool) Block {
 			panic(fmt.Sprintf("ps: summary filter missed a sibling definition of r%d hoisting %v", d, op))
 		}
 	}
-	for a := parent; a != nil; a = a.Parent() {
-		if d == ir.NoReg || !a.DefinesHere(d) {
-			continue // O(1) summary read replaces the op-list scan
-		}
-		for _, p := range a.Ops {
-			if p != op && p.Def() == d {
+	// The root path above the parent: one O(1) path-prefix probe replaces
+	// the whole ancestor walk. Exact here — op sits at v, below parent,
+	// so it contributes nothing to parent's prefix: a miss proves no
+	// ancestor op defines d; a hit resolves the blocker directly through
+	// the def-site index of the one ancestor whose own tier holds d.
+	if d != ir.NoReg && parent.PathDefines(d) {
+		for a := parent; a != nil; a = a.Parent() {
+			if !a.DefinesHere(d) {
+				continue
+			}
+			if p, _ := a.DefSiteHere(d); p != nil && p != op {
 				return Block{Kind: BlockDep, By: p}
+			}
+		}
+	} else if c.CrossCheck && d != ir.NoReg {
+		for a := parent; a != nil; a = a.Parent() {
+			for _, p := range a.Ops {
+				if p != op && p.Def() == d {
+					panic(fmt.Sprintf("ps: path-prefix filter missed an ancestor definition of r%d hoisting %v", d, op))
+				}
 			}
 		}
 	}

@@ -51,17 +51,17 @@ func (c *Ctx) TryMoveCJUp(cj *ir.Op, commit bool) Block {
 	// copy-propagation hops before the rewrite list falls back to heap
 	// growth (TestRewriteBufferOverflowsCorrectly).
 	var useBuf [3]ir.Reg
-	uses := cj.Uses(useBuf[:0])
+	uses := cj.UsesView(useBuf[:0])
 	var rwBuf [8]rewrite
 	rewrites := rwBuf[:0]
-	if pathScanNeeded(t, cj, uses) {
+	if mask := pathScanNeeded(leaf, cj, uses); mask != 0 {
 		var block Block
-		block, uses, rewrites = scanCommittedPath(leaf, cj, nil, uses, rewrites)
+		block, uses, rewrites = c.resolvePath(leaf, cj, nil, uses, useBuf[:0], rewrites, mask)
 		if block.Kind != BlockNone {
 			return block
 		}
 	} else if c.CrossCheck {
-		c.crossCheckPathMiss(t, leaf, cj, nil)
+		c.crossCheckPathMiss(leaf, cj, nil)
 	}
 
 	if !commit {

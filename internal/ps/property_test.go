@@ -163,6 +163,50 @@ func TestRandomStepUpPreservesSemantics(t *testing.T) {
 	}
 }
 
+// TestCrossCheckedRandomMutationSequences drives random mutation
+// sequences with Ctx.CrossCheck enabled, so every prefix-filter
+// verdict, walk-free path resolution, guided move-past-read descent,
+// and hoist ancestor pre-gate runs next to its retained reference scan
+// and panics on any divergence in verdict, blocker, use list, or
+// rewrite list. Renamed moves are mixed in: renaming's RetargetDef and
+// copy compensations mutate the summaries mid-sequence, which is
+// exactly the state the filters must stay exact under.
+func TestCrossCheckedRandomMutationSequences(t *testing.T) {
+	seeds := int64(400)
+	if testing.Short() {
+		seeds = 40
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g, _, ops := randomProgram(rng, 12, seed%2 == 0)
+		ctx := NewCtx(g, machine.New(1+rng.Intn(3)), nil)
+		ctx.CrossCheck = true
+		moved := 0
+		for step := 0; step < 120; step++ {
+			op := ops[rng.Intn(len(ops))]
+			if g.Where(op) == nil {
+				continue
+			}
+			var blk Block
+			if rng.Intn(4) == 0 && !op.IsBranch() && g.Where(op) == g.NodeOf(op).Root {
+				blk = ctx.TryMoveOpUpRenamed(op)
+			} else {
+				blk = ctx.StepUp(op)
+			}
+			if blk.Kind != BlockNone {
+				continue
+			}
+			moved++
+			if err := g.Validate(); err != nil {
+				t.Fatalf("seed %d step %d (op %v): validate: %v", seed, step, op, err)
+			}
+		}
+		if moved == 0 && seed == 1 {
+			t.Log("seed 1: no moves were legal (acceptable but rare)")
+		}
+	}
+}
+
 // TestRandomRenamedMoves drives the renaming transformation over random
 // programs, which (unlike the SSA-renamed pipelines) are full of output
 // and anti dependences that only renaming can move past.

@@ -98,6 +98,22 @@ type Ctx struct {
 	CJMoves int // successful move-cj steps
 	Splices int // empty nodes removed
 	Renames int // renaming transformations applied
+
+	// plCache memoizes predLeaf per target node within one graph
+	// version: legality probes burst against the same few frontier
+	// nodes between mutations (the Gapless-move search alone asks
+	// about one node once per candidate), and each miss re-walks
+	// SinglePred + LeafTo. Version stamps make entries self-
+	// invalidating; collisions just recompute.
+	plCache [64]predLeafEntry
+}
+
+type predLeafEntry struct {
+	n       *graph.Node
+	version uint64
+	t       *graph.Node
+	leaf    *graph.Vertex
+	blk     Block
 }
 
 // NewCtx returns a transformation context.
@@ -123,7 +139,22 @@ func (c *Ctx) noteRewrite(op *ir.Op) {
 // schedules never require (every node has one predecessor until the loop
 // is re-formed).
 func (c *Ctx) predLeaf(n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
-	t := c.G.SinglePred(n)
+	e := &c.plCache[uint(n.ID)&63]
+	if e.n != n || e.version != c.G.Version() {
+		c.predLeafFill(n, e)
+	}
+	return e.t, e.leaf, e.blk
+}
+
+// predLeafFill recomputes a missed cache entry. Kept out of predLeaf so
+// the hit path stays within the inlining budget.
+func (c *Ctx) predLeafFill(n *graph.Node, e *predLeafEntry) {
+	t, leaf, blk := predLeafEval(c.G, n)
+	*e = predLeafEntry{n: n, version: c.G.Version(), t: t, leaf: leaf, blk: blk}
+}
+
+func predLeafEval(g *graph.Graph, n *graph.Node) (*graph.Node, *graph.Vertex, Block) {
+	t := g.SinglePred(n)
 	if t == nil || t == n {
 		return nil, nil, Block{Kind: BlockStructure}
 	}
